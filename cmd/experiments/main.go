@@ -1,0 +1,162 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-scale f] [-seed n] [-bench a,b,c] [-v] <target>...
+//
+// Targets: table1 table6 fig5 fig8 fig9 fig10 fig11 fig12 fig13 accuracy
+// sensitivity all. "accuracy" prints fig9+fig10+fig11 from one run;
+// "sensitivity" prints fig12+fig13 from one run; "all" runs everything.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tbpoint/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = Table VI size)")
+	seed := flag.Uint64("seed", 0, "workload/baseline seed")
+	bench := flag.String("bench", "", "comma-separated benchmark subset (default: all 12)")
+	samples := flag.Int("samples", 10000, "Monte-Carlo samples for fig5")
+	verbose := flag.Bool("v", false, "progress output")
+	par := flag.Int("par", 0, "worker pool size for independent benchmarks (0 = GOMAXPROCS, 1 = sequential)")
+	jsonPath := flag.String("json", "", "also write results as JSON to this file")
+	flag.Parse()
+	experiments.Parallelism = *par
+
+	targets := flag.Args()
+	if len(targets) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <table1|table6|fig5|fig8|fig9|fig10|fig11|fig12|fig13|motivation|ablations|accuracy|sensitivity|all>...")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	opts := experiments.DefaultOptions(*scale)
+	opts.Seed = *seed
+	opts.Out = os.Stdout
+	opts.Verbose = *verbose
+	if *bench != "" {
+		opts.Benchmarks = strings.Split(*bench, ",")
+	}
+
+	want := map[string]bool{}
+	for _, t := range targets {
+		if t == "all" {
+			for _, x := range []string{"table1", "table6", "fig5", "fig8", "motivation", "accuracy", "sensitivity"} {
+				want[x] = true
+			}
+			continue
+		}
+		want[t] = true
+	}
+	// Grouped targets share one expensive run.
+	if want["fig9"] || want["fig10"] || want["fig11"] {
+		want["accuracy"] = true
+	}
+	if want["fig12"] || want["fig13"] {
+		want["sensitivity"] = true
+	}
+
+	w := os.Stdout
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	bundle := &experiments.Results{Scale: opts.Scale, Seed: opts.Seed}
+
+	if want["table6"] {
+		rows, err := experiments.RunTable6(opts)
+		if err != nil {
+			fail(err)
+		}
+		experiments.PrintTable6(w, rows, opts.Scale)
+		bundle.Table6 = rows
+	}
+	if want["table1"] {
+		t1 := experiments.RunTable1PerKernel(clampScale(opts.Scale, 0.05))
+		experiments.PrintTable1(w, t1)
+		bundle.Table1 = t1
+	}
+	if want["fig5"] {
+		f5 := experiments.RunFig5(*samples, opts.Seed+5)
+		experiments.PrintFig5(w, f5)
+		bundle.Fig5 = f5
+	}
+	if want["fig8"] {
+		series, err := experiments.RunFig8([]string{"conv", "mst"}, opts)
+		if err != nil {
+			fail(err)
+		}
+		experiments.PrintFig8(w, series)
+		bundle.Fig8 = series
+	}
+	if want["ablations"] {
+		results, err := experiments.RunAblations(opts)
+		if err != nil {
+			fail(err)
+		}
+		experiments.PrintAblations(w, results)
+		bundle.Ablations = results
+	}
+	if want["motivation"] {
+		results, err := experiments.RunMotivation(opts)
+		if err != nil {
+			fail(err)
+		}
+		experiments.PrintMotivation(w, results)
+		bundle.Motivation = results
+	}
+	if want["accuracy"] {
+		results, err := experiments.RunAccuracyParallel(opts)
+		if err != nil {
+			fail(err)
+		}
+		if want["fig9"] || want["accuracy"] {
+			experiments.PrintFig9(w, results)
+		}
+		if want["fig10"] || want["accuracy"] {
+			experiments.PrintFig10(w, results)
+		}
+		if want["fig11"] || want["accuracy"] {
+			experiments.PrintFig11(w, results)
+		}
+		bundle.Accuracy = results
+	}
+	if want["sensitivity"] {
+		results, err := experiments.RunSensitivityParallel(opts)
+		if err != nil {
+			fail(err)
+		}
+		experiments.PrintFig12(w, results)
+		experiments.PrintFig13(w, results)
+		bundle.Sensitivity = results
+	}
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fail(err)
+		}
+		if err := bundle.WriteJSON(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// clampScale caps the calibration workload used for throughput measurement;
+// Table I only needs the rate, not a paper-scale run.
+func clampScale(s, max float64) float64 {
+	if s > max {
+		return max
+	}
+	return s
+}

@@ -1,0 +1,12 @@
+package main
+
+import "testing"
+
+func TestClampScale(t *testing.T) {
+	if got := clampScale(1.0, 0.05); got != 0.05 {
+		t.Errorf("clampScale(1, .05) = %v", got)
+	}
+	if got := clampScale(0.01, 0.05); got != 0.01 {
+		t.Errorf("clampScale(.01, .05) = %v", got)
+	}
+}

@@ -1,0 +1,197 @@
+// Command tbpoint runs the TBPoint pipeline on a synthetic benchmark and
+// reports what was clustered, what was sampled, and how accurate the
+// prediction is against the full simulation.
+//
+// Usage:
+//
+//	tbpoint [-bench cfd] [-scale 0.2] [-warps 48] [-sms 14]
+//	        [-sigma-inter 0.1] [-sigma-intra 0.2] [-vf 0.3]
+//	        [-compare] [-regions]
+//
+// With -compare, the Random and Ideal-Simpoint baselines are also run.
+// With -regions, each representative launch's homogeneous region table is
+// printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"tbpoint"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tbpoint: ")
+
+	bench := flag.String("bench", "cfd", "benchmark name")
+	scale := flag.Float64("scale", 0.2, "workload scale (1.0 = Table VI size)")
+	warps := flag.Int("warps", 0, "override warps per SM (0 = Table V default)")
+	sms := flag.Int("sms", 0, "override SM count (0 = Table V default)")
+	sigmaInter := flag.Float64("sigma-inter", 0.1, "inter-launch clustering threshold")
+	sigmaIntra := flag.Float64("sigma-intra", 0.2, "intra-launch clustering threshold")
+	vf := flag.Float64("vf", 0.3, "variation-factor threshold for outlier epochs")
+	compare := flag.Bool("compare", false, "also run Random and Ideal-Simpoint baselines")
+	regions := flag.Bool("regions", false, "print homogeneous region tables")
+	saveProfile := flag.String("save-profile", "", "write the one-time profile to this file")
+	loadProfile := flag.String("load-profile", "", "reuse a one-time profile from this file instead of re-profiling")
+	dumpRegions := flag.String("dump-regions", "", "write each representative launch's region table (Table III) to <file>.<launch>.json")
+	list := flag.Bool("list", false, "list available benchmarks and exit")
+	flag.Parse()
+
+	if *list {
+		for _, n := range tbpoint.Benchmarks() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	app, err := tbpoint.Benchmark(*bench, *scale)
+	if err != nil {
+		log.Fatalf("%v (use -list to see benchmarks)", err)
+	}
+	cfg := tbpoint.DefaultSimConfig()
+	if *warps > 0 || *sms > 0 {
+		w, s := cfg.Limits.MaxWarps, cfg.NumSMs
+		if *warps > 0 {
+			w = *warps
+		}
+		if *sms > 0 {
+			s = *sms
+		}
+		cfg = cfg.WithOccupancy(w, s)
+	}
+	sim, err := tbpoint.NewSimulator(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := tbpoint.DefaultOptions()
+	opts.SigmaInter = *sigmaInter
+	opts.SigmaIntra = *sigmaIntra
+	opts.VarFactor = *vf
+
+	fmt.Printf("%s @ scale %g on %s: %d launches, %d thread blocks, %d warp insts\n",
+		app.Name, *scale, cfg.Name(), len(app.Launches), app.TotalBlocks(), app.TotalWarpInsts())
+
+	var prof *tbpoint.AppProfile
+	if *loadProfile != "" {
+		f, err := os.Open(*loadProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prof, err = tbpoint.LoadProfile(f, app)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("reusing one-time profile from %s\n", *loadProfile)
+	} else {
+		prof = tbpoint.Profile(app)
+	}
+	if *saveProfile != "" {
+		f, err := os.Create(*saveProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tbpoint.SaveProfile(f, prof); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("one-time profile saved to %s\n", *saveProfile)
+	}
+	res, err := tbpoint.Run(sim, prof, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *dumpRegions != "" {
+		for rep, rt := range res.Tables {
+			path := fmt.Sprintf("%s.%d.json", *dumpRegions, rep)
+			f, err := os.Create(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := tbpoint.WriteRegionTable(f, rt); err != nil {
+				f.Close()
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("region table of launch %d written to %s\n", rep, path)
+		}
+	}
+
+	fmt.Printf("inter-launch: %d clusters, representatives %v\n",
+		res.Inter.NumClusters, sortedReps(res))
+	if *regions {
+		printRegions(res)
+	}
+
+	full := tbpoint.FullSimulation(sim, app, unitFor(app.TotalWarpInsts()))
+	est := res.Estimate
+	fmt.Printf("\n%-16s %10s %10s %10s\n", "technique", "IPC", "error", "sample")
+	fmt.Printf("%-16s %10.3f %10s %10s\n", "Full", full.IPC(), "-", "100%")
+	row := func(name string, e tbpoint.Estimate) {
+		fmt.Printf("%-16s %10.3f %9.2f%% %9.2f%%\n",
+			name, e.PredictedIPC, e.Error(full)*100, e.SampleSize*100)
+	}
+	row("TBPoint", est)
+	if *compare {
+		row("Random(10%)", tbpoint.RandomBaseline(full, 0.10, 42))
+		row("Systematic(10%)", tbpoint.SystematicBaseline(full, 0.10, 42))
+		row("Ideal-Simpoint", tbpoint.SimPointBaseline(full))
+	}
+	fmt.Printf("\nTBPoint savings: %.0f%% inter-launch, %.0f%% intra-launch\n",
+		est.InterFraction()*100, (1-est.InterFraction())*100)
+	if est.Error(full) > 0.15 {
+		fmt.Fprintln(os.Stderr, "warning: sampling error above 15%; consider tighter thresholds")
+	}
+}
+
+func unitFor(total int64) int64 {
+	u := total / 400
+	if u < 2000 {
+		u = 2000
+	}
+	if u > 1<<20 {
+		u = 1 << 20
+	}
+	return u
+}
+
+func sortedReps(res *tbpoint.Result) []int {
+	reps := res.Inter.RepLaunches()
+	sort.Ints(reps)
+	if len(reps) > 16 {
+		return reps[:16]
+	}
+	return reps
+}
+
+func printRegions(res *tbpoint.Result) {
+	reps := res.Inter.RepLaunches()
+	sort.Ints(reps)
+	for _, rep := range reps {
+		rt := res.Tables[rep]
+		fmt.Printf("launch %d (occupancy %d): %d region IDs\n", rep, rt.Occupancy, rt.NumRegions)
+		runs := rt.Regions()
+		for i, r := range runs {
+			if i >= 12 {
+				fmt.Printf("  ... %d more runs\n", len(runs)-i)
+				break
+			}
+			fmt.Printf("  blocks [%5d, %5d) -> region %d\n", r.Start, r.End, r.ID)
+		}
+		if s, ok := res.Samples[rep]; ok {
+			fmt.Printf("  sampled: %d/%d insts simulated, %d warm units, %d regions fast-forwarded\n",
+				s.SimulatedInsts, s.TotalInsts, s.WarmUnits, len(s.RegionIPC))
+		}
+	}
+}

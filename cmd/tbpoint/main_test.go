@@ -1,0 +1,58 @@
+package main
+
+import (
+	"testing"
+
+	"tbpoint"
+)
+
+func TestUnitFor(t *testing.T) {
+	cases := []struct {
+		total int64
+		want  int64
+	}{
+		{100, 2000},          // floor
+		{400 * 5000, 5000},   // proportional
+		{400 << 30, 1 << 20}, // cap at 1M
+	}
+	for _, c := range cases {
+		if got := unitFor(c.total); got != c.want {
+			t.Errorf("unitFor(%d) = %d, want %d", c.total, got, c.want)
+		}
+	}
+}
+
+func TestSortedRepsTruncates(t *testing.T) {
+	app := tbpoint.MustBenchmark("sssp", 0.1)
+	prof := tbpoint.Profile(app)
+	cfg := tbpoint.DefaultSimConfig()
+	cfg.NumSMs = 2
+	sim := tbpoint.MustNewSimulator(cfg)
+	res, err := tbpoint.Run(sim, prof, tbpoint.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := sortedReps(res)
+	if len(reps) > 16 {
+		t.Errorf("sortedReps returned %d entries, cap is 16", len(reps))
+	}
+	for i := 1; i < len(reps); i++ {
+		if reps[i] <= reps[i-1] {
+			t.Error("reps not sorted")
+		}
+	}
+}
+
+func TestPrintRegionsSmoke(t *testing.T) {
+	app := tbpoint.MustBenchmark("hotspot", 0.2)
+	prof := tbpoint.Profile(app)
+	cfg := tbpoint.DefaultSimConfig()
+	cfg.NumSMs = 2
+	sim := tbpoint.MustNewSimulator(cfg)
+	res, err := tbpoint.Run(sim, prof, tbpoint.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// printRegions writes to stdout; just ensure it does not panic.
+	printRegions(res)
+}

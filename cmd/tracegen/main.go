@@ -1,0 +1,172 @@
+// Command tracegen records a kernel launch's instruction trace to the
+// binary trace format and inspects existing trace files. The timing
+// simulator consumes traces through the same Provider interface whether
+// they are lazily synthesised or recorded, so recorded traces replay
+// identically (cmd/tracegen exists mainly for debugging and for exchanging
+// reproducible inputs).
+//
+// Usage:
+//
+//	tracegen record -bench mst -launch 0 -scale 0.05 -o mst0.trace
+//	tracegen info   mst0.trace
+//	tracegen verify -bench mst -launch 0 -scale 0.05 mst0.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"tbpoint"
+	"tbpoint/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "record":
+		record(args)
+	case "info":
+		info(args)
+	case "verify":
+		verify(args)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  tracegen record -bench <name> [-launch i] [-scale f] [-gzip] -o <file>
+  tracegen info   <file>
+  tracegen verify -bench <name> [-launch i] [-scale f] <file>`)
+	os.Exit(2)
+}
+
+func launchFlags(fs *flag.FlagSet) (bench *string, launch *int, scale *float64) {
+	bench = fs.String("bench", "", "benchmark name")
+	launch = fs.Int("launch", 0, "launch index")
+	scale = fs.Float64("scale", 0.05, "workload scale")
+	return
+}
+
+func buildProvider(bench string, launch int, scale float64) *trace.Synthetic {
+	app, err := tbpoint.Benchmark(bench, scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if launch < 0 || launch >= len(app.Launches) {
+		log.Fatalf("launch %d out of range [0, %d)", launch, len(app.Launches))
+	}
+	return trace.NewSynthetic(app.Launches[launch])
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	bench, launch, scale := launchFlags(fs)
+	out := fs.String("o", "", "output file")
+	gz := fs.Bool("gzip", false, "gzip-compress the trace")
+	_ = fs.Parse(args)
+	if *bench == "" || *out == "" {
+		usage()
+	}
+	prov := buildProvider(*bench, *launch, *scale)
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	write := trace.Write
+	if *gz {
+		write = trace.WriteGzip
+	}
+	if err := write(f, prov); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	st, _ := os.Stat(*out)
+	fmt.Printf("recorded %s launch %d (%d blocks x %d warps) to %s (%d bytes)\n",
+		*bench, *launch, prov.NumBlocks(), prov.WarpsPerBlock(), *out, st.Size())
+}
+
+func readTrace(path string) *trace.Recorded {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	rec, err := trace.Read(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return rec
+}
+
+func info(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	rec := readTrace(args[0])
+	var events, memReqs int64
+	opCount := map[string]int64{}
+	for _, stream := range rec.Events {
+		for _, ev := range stream {
+			events++
+			memReqs += int64(ev.NumReq)
+			opCount[ev.Op.String()]++
+		}
+	}
+	fmt.Printf("%s: %d blocks x %d warps, %d warp instructions, %d memory requests\n",
+		args[0], rec.NumBlocks(), rec.WarpsPerBlock(), events, memReqs)
+	for op, n := range opCount {
+		fmt.Printf("  %-6s %12d (%.1f%%)\n", op, n, 100*float64(n)/float64(events))
+	}
+}
+
+func verify(args []string) {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	bench, launch, scale := launchFlags(fs)
+	_ = fs.Parse(args)
+	if *bench == "" || fs.NArg() != 1 {
+		usage()
+	}
+	rec := readTrace(fs.Arg(0))
+	prov := buildProvider(*bench, *launch, *scale)
+	if rec.NumBlocks() != prov.NumBlocks() || rec.WarpsPerBlock() != prov.WarpsPerBlock() {
+		log.Fatalf("shape mismatch: file %dx%d, synthetic %dx%d",
+			rec.NumBlocks(), rec.WarpsPerBlock(), prov.NumBlocks(), prov.WarpsPerBlock())
+	}
+	var a, b [trace.MaxRequests]uint64
+	for tb := 0; tb < rec.NumBlocks(); tb++ {
+		for w := 0; w < rec.WarpsPerBlock(); w++ {
+			sr, ss := rec.WarpStream(tb, w), prov.WarpStream(tb, w)
+			for i := 0; ; i++ {
+				er, okr := sr.Next(a[:])
+				es, oks := ss.Next(b[:])
+				if okr != oks {
+					log.Fatalf("tb %d warp %d: stream lengths differ at event %d", tb, w, i)
+				}
+				if !okr {
+					break
+				}
+				if er != es {
+					log.Fatalf("tb %d warp %d event %d: %+v != %+v", tb, w, i, er, es)
+				}
+				for r := 0; r < int(er.NumReq); r++ {
+					if a[r] != b[r] {
+						log.Fatalf("tb %d warp %d event %d req %d: %#x != %#x", tb, w, i, r, a[r], b[r])
+					}
+				}
+			}
+		}
+	}
+	fmt.Println("trace matches the synthetic expansion exactly")
+}

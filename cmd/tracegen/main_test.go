@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The subcommand functions exit the process on failure (log.Fatal), so
+// these tests cover the happy paths end to end through real files.
+
+func TestRecordInfoVerifyRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "t.trace")
+
+	record([]string{"-bench", "mst", "-launch", "1", "-scale", "0.05", "-o", out})
+	if st, err := os.Stat(out); err != nil || st.Size() == 0 {
+		t.Fatalf("trace not written: %v", err)
+	}
+	info([]string{out})
+	verify([]string{"-bench", "mst", "-launch", "1", "-scale", "0.05", out})
+}
+
+func TestRecordGzip(t *testing.T) {
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "p.trace")
+	packed := filepath.Join(dir, "p.trace.gz")
+	record([]string{"-bench", "stream", "-scale", "0.05", "-o", plain})
+	record([]string{"-bench", "stream", "-scale", "0.05", "-gzip", "-o", packed})
+	sp, _ := os.Stat(plain)
+	sg, _ := os.Stat(packed)
+	if sg.Size() >= sp.Size() {
+		t.Errorf("gzip trace %d bytes not smaller than plain %d", sg.Size(), sp.Size())
+	}
+	// Gzip traces verify transparently.
+	verify([]string{"-bench", "stream", "-scale", "0.05", packed})
+}
+
+func TestBuildProviderBounds(t *testing.T) {
+	p := buildProvider("hotspot", 0, 0.05)
+	if p.NumBlocks() == 0 {
+		t.Error("empty provider")
+	}
+}

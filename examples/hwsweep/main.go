@@ -1,0 +1,55 @@
+// Hwsweep: the §V-C one-time-profiling property. Profiles an application
+// once, then retargets TBPoint across hardware configurations with
+// different warp capacities (W) and SM counts (S): only the occupancy-
+// dependent region identification and the representative simulations are
+// redone — never the profiling, never the inter-launch clustering.
+//
+//	go run ./examples/hwsweep [-bench conv] [-scale 0.1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"tbpoint"
+)
+
+func main() {
+	bench := flag.String("bench", "conv", "benchmark name")
+	scale := flag.Float64("scale", 0.1, "workload scale")
+	flag.Parse()
+
+	app, err := tbpoint.Benchmark(*bench, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One-time work, shared by every configuration below.
+	start := time.Now()
+	prof := tbpoint.Profile(app)
+	inter := tbpoint.InterLaunch(prof, tbpoint.DefaultOptions().SigmaInter)
+	fmt.Printf("%s: one-time profiling + launch clustering took %v\n",
+		app.Name, time.Since(start).Round(time.Millisecond))
+
+	configs := []struct{ w, s int }{{16, 8}, {32, 14}, {48, 14}, {64, 28}}
+	fmt.Printf("%-8s %10s %10s %10s %8s %8s\n",
+		"config", "occupancy", "fullIPC", "predIPC", "err", "sample")
+	for _, c := range configs {
+		cfg := tbpoint.DefaultSimConfig().WithOccupancy(c.w, c.s)
+		sim := tbpoint.MustNewSimulator(cfg)
+
+		res, err := tbpoint.Retarget(sim, prof, inter, tbpoint.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		full := tbpoint.FullSimulation(sim, app, 0)
+		occ := cfg.Limits.SystemOccupancy(app.Launches[0].Kernel, cfg.NumSMs)
+		fmt.Printf("W%02dS%02d   %10d %10.3f %10.3f %7.2f%% %7.2f%%\n",
+			c.w, c.s, occ, full.IPC(), res.Estimate.PredictedIPC,
+			res.Estimate.Error(full)*100, res.Estimate.SampleSize*100)
+	}
+	fmt.Println("\nprofile reused across all configurations; only clustering and the")
+	fmt.Println("representative launches were re-run per configuration (§V-C).")
+}

@@ -1,0 +1,78 @@
+// Multilaunch: inter-launch sampling on an irregular frontier-style
+// application (the sssp model). Shows how the Eq. 2 feature vectors group
+// kernel launches, which launches get simulated, and how much the launch
+// clustering alone saves.
+//
+//	go run ./examples/multilaunch [-scale 0.5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"tbpoint"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.5, "workload scale")
+	flag.Parse()
+
+	app, err := tbpoint.Benchmark("sssp", *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof := tbpoint.Profile(app)
+
+	// Inter-launch sampling in isolation: cluster the launches by the four
+	// Eq. 2 features at the paper's threshold.
+	inter := tbpoint.InterLaunch(prof, tbpoint.DefaultOptions().SigmaInter)
+	fmt.Printf("sssp: %d launches -> %d clusters\n", len(app.Launches), inter.NumClusters)
+
+	// Group launches per cluster for display.
+	byCluster := map[int][]int{}
+	for li, c := range inter.Assign {
+		byCluster[c] = append(byCluster[c], li)
+	}
+	cids := make([]int, 0, len(byCluster))
+	for c := range byCluster {
+		cids = append(cids, c)
+	}
+	sort.Ints(cids)
+	var repInsts, totalInsts int64
+	for _, c := range cids {
+		members := byCluster[c]
+		rep := inter.Reps[c]
+		var insts int64
+		for _, li := range members {
+			insts += prof.Profiles[li].TotalWarpInsts()
+		}
+		repInsts += prof.Profiles[rep].TotalWarpInsts()
+		totalInsts += insts
+		fmt.Printf("cluster %2d: %3d launches (rep launch %2d, %6d blocks, feature %v)\n",
+			c, len(members), rep, app.Launches[rep].NumBlocks(), round4(inter.Features[rep]))
+	}
+	fmt.Printf("\nsimulating only representatives: %.1f%% of warp instructions\n",
+		100*float64(repInsts)/float64(totalInsts))
+
+	// Full pipeline (inter + intra) for comparison.
+	sim := tbpoint.MustNewSimulator(tbpoint.DefaultSimConfig())
+	res, err := tbpoint.Run(sim, prof, tbpoint.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	full := tbpoint.FullSimulation(sim, app, 0)
+	fmt.Printf("with intra-launch sampling on top: %.1f%% sample, %.2f%% error\n",
+		res.Estimate.SampleSize*100, res.Estimate.Error(full)*100)
+	fmt.Printf("savings breakdown: %.0f%% inter-launch, %.0f%% intra-launch\n",
+		res.Estimate.InterFraction()*100, (1-res.Estimate.InterFraction())*100)
+}
+
+func round4(v []float64) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = float64(int(x*1000+0.5)) / 1000
+	}
+	return out
+}

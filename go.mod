@@ -1,0 +1,3 @@
+module tbpoint
+
+go 1.22

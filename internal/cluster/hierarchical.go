@@ -1,0 +1,268 @@
+// Package cluster implements the clustering substrate TBPoint and the
+// SimPoint baseline build on: agglomerative hierarchical clustering with
+// complete linkage and a distance-threshold cut (used by inter-launch and
+// intra-launch sampling, §III and §IV-B1), and k-means with k-means++
+// seeding plus the Bayesian information criterion (used by the
+// Ideal-Simpoint baseline, §V-A).
+package cluster
+
+import "math"
+
+// Merge is one agglomeration step of a dendrogram. Node IDs 0..n-1 are the
+// input points (leaves); merge i creates node n+i joining nodes A and B at
+// the given linkage height.
+type Merge struct {
+	A, B   int
+	Height float64
+}
+
+// Dendrogram is the result of hierarchical clustering over n points.
+type Dendrogram struct {
+	N      int
+	Merges []Merge
+}
+
+// Euclidean returns the Euclidean distance between two equal-length vectors.
+func Euclidean(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Hierarchical performs agglomerative clustering with complete linkage over
+// the given points using the nearest-neighbour-chain algorithm, which runs
+// in O(n²) time and memory. Complete linkage is chosen because the paper
+// defines the distance threshold σ as "the maximum distance between any two
+// points in a cluster".
+func Hierarchical(points [][]float64) *Dendrogram {
+	n := len(points)
+	d := &Dendrogram{N: n}
+	if n <= 1 {
+		return d
+	}
+
+	// Condensed distance state: dist[i][j] for active cluster ids. Cluster
+	// ids are 0..n-1 for leaves and n+i for merge i. We keep a dense map
+	// from active slot -> cluster id and a distance matrix over slots,
+	// updating in place with the Lance-Williams rule for complete linkage:
+	// D(k, i∪j) = max(D(k,i), D(k,j)).
+	active := make([]int, n) // slot -> cluster id
+	for i := range active {
+		active[i] = i
+	}
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dv := Euclidean(points[i], points[j])
+			dist[i][j] = dv
+			dist[j][i] = dv
+		}
+	}
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	nAlive := n
+
+	// Nearest-neighbour chain.
+	chain := make([]int, 0, n)
+	for nAlive > 1 {
+		if len(chain) == 0 {
+			for s := 0; s < n; s++ {
+				if alive[s] {
+					chain = append(chain, s)
+					break
+				}
+			}
+		}
+		top := chain[len(chain)-1]
+		// Find nearest alive neighbour of top.
+		best, bestD := -1, math.Inf(1)
+		for s := 0; s < n; s++ {
+			if !alive[s] || s == top {
+				continue
+			}
+			if dv := dist[top][s]; dv < bestD {
+				best, bestD = s, dv
+			}
+		}
+		// Reciprocal nearest neighbours? (the previous chain element)
+		if len(chain) >= 2 && chain[len(chain)-2] == best {
+			// Merge slots top and best into slot min(top,best).
+			chain = chain[:len(chain)-2]
+			i, j := top, best
+			if j < i {
+				i, j = j, i
+			}
+			d.Merges = append(d.Merges, Merge{A: active[i], B: active[j], Height: bestD})
+			newID := n + len(d.Merges) - 1
+			// Lance-Williams complete-linkage update into slot i.
+			for s := 0; s < n; s++ {
+				if !alive[s] || s == i || s == j {
+					continue
+				}
+				m := math.Max(dist[s][i], dist[s][j])
+				dist[s][i] = m
+				dist[i][s] = m
+			}
+			alive[j] = false
+			active[i] = newID
+			nAlive--
+		} else {
+			chain = append(chain, best)
+		}
+	}
+	return d
+}
+
+// CutThreshold cuts the dendrogram at height sigma and returns the cluster
+// assignment of each input point, with cluster IDs densely renumbered from
+// zero in order of first appearance. Points end up in the same cluster iff
+// their complete-linkage (maximum pairwise) distance is at most sigma.
+func (d *Dendrogram) CutThreshold(sigma float64) []int {
+	parent := make([]int, d.N+len(d.Merges))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for mi, m := range d.Merges {
+		if m.Height > sigma {
+			continue
+		}
+		node := d.N + mi
+		ra, rb := find(m.A), find(m.B)
+		parent[ra] = node
+		parent[rb] = node
+	}
+	assign := make([]int, d.N)
+	next := 0
+	ids := map[int]int{}
+	for i := 0; i < d.N; i++ {
+		r := find(i)
+		id, ok := ids[r]
+		if !ok {
+			id = next
+			next++
+			ids[r] = id
+		}
+		assign[i] = id
+	}
+	return assign
+}
+
+// NumClusters returns the number of distinct assignments.
+func NumClusters(assign []int) int {
+	seen := map[int]bool{}
+	for _, a := range assign {
+		seen[a] = true
+	}
+	return len(seen)
+}
+
+// Members returns, for each cluster ID, the indices assigned to it.
+func Members(assign []int) map[int][]int {
+	m := map[int][]int{}
+	for i, a := range assign {
+		m[a] = append(m[a], i)
+	}
+	return m
+}
+
+// Centroid returns the mean of the given points (indices into points).
+func Centroid(points [][]float64, idxs []int) []float64 {
+	if len(idxs) == 0 || len(points) == 0 {
+		return nil
+	}
+	dim := len(points[idxs[0]])
+	c := make([]float64, dim)
+	for _, i := range idxs {
+		for d := 0; d < dim; d++ {
+			c[d] += points[i][d]
+		}
+	}
+	for d := range c {
+		c[d] /= float64(len(idxs))
+	}
+	return c
+}
+
+// Representatives returns, for each cluster, the member index whose point
+// lies closest to the cluster centroid — the paper's simulation-point
+// selection rule ("the kernel launch with the inter-feature vector closest
+// to the center of the cluster", §III). Ties break toward the lowest index,
+// which keeps selection deterministic.
+func Representatives(points [][]float64, assign []int) map[int]int {
+	reps := map[int]int{}
+	for cid, idxs := range Members(assign) {
+		c := Centroid(points, idxs)
+		best, bestD := -1, math.Inf(1)
+		for _, i := range idxs {
+			if dv := Euclidean(points[i], c); dv < bestD || (dv == bestD && i < best) {
+				best, bestD = i, dv
+			}
+		}
+		reps[cid] = best
+	}
+	return reps
+}
+
+// MaxIntraDistance returns the maximum pairwise distance within any cluster,
+// the quantity the threshold σ bounds. Used by tests and diagnostics.
+func MaxIntraDistance(points [][]float64, assign []int) float64 {
+	var worst float64
+	for _, idxs := range Members(assign) {
+		for a := 0; a < len(idxs); a++ {
+			for b := a + 1; b < len(idxs); b++ {
+				if dv := Euclidean(points[idxs[a]], points[idxs[b]]); dv > worst {
+					worst = dv
+				}
+			}
+		}
+	}
+	return worst
+}
+
+// NormalizeByMean divides each column by its column mean (columns with zero
+// mean are left unscaled). This is the Eq. 2 normalisation: "each of which
+// is normalized with its average value across all kernel launches".
+func NormalizeByMean(points [][]float64) [][]float64 {
+	if len(points) == 0 {
+		return nil
+	}
+	dim := len(points[0])
+	means := make([]float64, dim)
+	for _, p := range points {
+		for d := 0; d < dim; d++ {
+			means[d] += p[d]
+		}
+	}
+	for d := range means {
+		means[d] /= float64(len(points))
+	}
+	out := make([][]float64, len(points))
+	for i, p := range points {
+		q := make([]float64, dim)
+		for d := 0; d < dim; d++ {
+			if means[d] != 0 {
+				q[d] = p[d] / means[d]
+			} else {
+				q[d] = p[d]
+			}
+		}
+		out[i] = q
+	}
+	return out
+}

@@ -1,0 +1,35 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadRegionTable checks the Table III loader never panics and that
+// everything it accepts satisfies the tiling invariant.
+func FuzzReadRegionTable(f *testing.F) {
+	f.Add(`{"format":"tbpoint-region-table-v1","occupancy":4,"numBlocks":6,
+	        "numRegions":2,"rows":[{"Start":0,"End":3,"ID":0},{"Start":3,"End":6,"ID":1}]}`)
+	f.Add(`{"format":"tbpoint-region-table-v1","occupancy":0,"numBlocks":0,"numRegions":0,"rows":[]}`)
+	f.Add(`{}`)
+	f.Add(`not json`)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		rt, err := ReadRegionTable(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted tables must tile [0, numBlocks) exactly; Regions() on
+		// them must reproduce contiguous runs.
+		next := 0
+		for _, run := range rt.Regions() {
+			if run.Start != next || run.End <= run.Start {
+				t.Fatalf("accepted table has non-tiling run %+v", run)
+			}
+			next = run.End
+		}
+		if next != len(rt.RegionOf) {
+			t.Fatalf("runs cover %d of %d blocks", next, len(rt.RegionOf))
+		}
+	})
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"tbpoint/internal/funcsim"
+)
+
+// regionTableFile is the on-disk form of the homogeneous region table —
+// the paper's Table III layout: one row per maximal run of thread blocks,
+// with the region (cluster) ID and the [start, end) block range.
+type regionTableFile struct {
+	Format     string      `json:"format"`
+	Occupancy  int         `json:"occupancy"`
+	NumBlocks  int         `json:"numBlocks"`
+	NumRegions int         `json:"numRegions"`
+	Rows       []RegionRun `json:"rows"`
+}
+
+const regionTableFormat = "tbpoint-region-table-v1"
+
+// WriteRegionTable serialises a region table in the Table III row format
+// (region ID, start thread block ID, end thread block ID).
+func WriteRegionTable(w io.Writer, rt *RegionTable) error {
+	f := regionTableFile{
+		Format:     regionTableFormat,
+		Occupancy:  rt.Occupancy,
+		NumBlocks:  len(rt.RegionOf),
+		NumRegions: rt.NumRegions,
+		Rows:       rt.Regions(),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// ReadRegionTable reconstructs a region table from its Table III rows,
+// validating that the rows tile the block range exactly.
+func ReadRegionTable(r io.Reader) (*RegionTable, error) {
+	var f regionTableFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("core: region table: %w", err)
+	}
+	if f.Format != regionTableFormat {
+		return nil, fmt.Errorf("core: region table: unknown format %q", f.Format)
+	}
+	if f.NumBlocks < 0 || f.Occupancy < 0 {
+		return nil, fmt.Errorf("core: region table: negative sizes")
+	}
+	rt := &RegionTable{
+		Occupancy:  f.Occupancy,
+		RegionOf:   make([]int, f.NumBlocks),
+		NumRegions: f.NumRegions,
+	}
+	next := 0
+	for i, row := range f.Rows {
+		if row.Start != next || row.End <= row.Start || row.End > f.NumBlocks {
+			return nil, fmt.Errorf("core: region table: row %d [%d,%d) does not tile at %d",
+				i, row.Start, row.End, next)
+		}
+		for tb := row.Start; tb < row.End; tb++ {
+			rt.RegionOf[tb] = row.ID
+		}
+		next = row.End
+	}
+	if next != f.NumBlocks {
+		return nil, fmt.Errorf("core: region table: rows end at %d of %d blocks", next, f.NumBlocks)
+	}
+	return rt, nil
+}
+
+// profileFile is the on-disk form of the one-time functional profile. Only
+// the profiled counters are stored — the launches themselves are rebuilt
+// from the workload definition (they are needed to simulate anyway).
+type profileFile struct {
+	Format   string              `json:"format"`
+	App      string              `json:"app"`
+	Launches []launchProfileFile `json:"launches"`
+}
+
+type launchProfileFile struct {
+	Blocks      []funcsim.TBProfile `json:"blocks"`
+	BlockCounts []int64             `json:"blockCounts"`
+}
+
+const profileFormat = "tbpoint-profile-v1"
+
+// WriteProfiles serialises an application's one-time profile. appName is
+// recorded so a mismatched reload is detectable.
+func WriteProfiles(w io.Writer, appName string, profiles []*funcsim.LaunchProfile) error {
+	f := profileFile{Format: profileFormat, App: appName}
+	for _, lp := range profiles {
+		f.Launches = append(f.Launches, launchProfileFile{
+			Blocks:      lp.Blocks,
+			BlockCounts: lp.BlockCounts,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}
+
+// ReadProfiles loads a one-time profile, checking the application name.
+func ReadProfiles(r io.Reader, appName string) ([]*funcsim.LaunchProfile, error) {
+	var f profileFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("core: profile: %w", err)
+	}
+	if f.Format != profileFormat {
+		return nil, fmt.Errorf("core: profile: unknown format %q", f.Format)
+	}
+	if appName != "" && f.App != appName {
+		return nil, fmt.Errorf("core: profile: recorded for app %q, want %q", f.App, appName)
+	}
+	out := make([]*funcsim.LaunchProfile, len(f.Launches))
+	for i, lf := range f.Launches {
+		out[i] = &funcsim.LaunchProfile{Blocks: lf.Blocks, BlockCounts: lf.BlockCounts}
+	}
+	return out, nil
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tbpoint/internal/funcsim"
+	"tbpoint/internal/kernel"
+)
+
+func TestRegionTableRoundTrip(t *testing.T) {
+	k := phasedKernel()
+	l := launchWithPhases(k, 120, [][2]int{{12, 1}, {2, 8}})
+	lp := funcsim.ProfileLaunch(l)
+	rt := IdentifyRegions(lp, 12, 0.2, 0.3)
+
+	var buf bytes.Buffer
+	if err := WriteRegionTable(&buf, rt); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	back, err := ReadRegionTable(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if back.Occupancy != rt.Occupancy || back.NumRegions != rt.NumRegions {
+		t.Errorf("header mismatch: %+v vs %+v", back, rt)
+	}
+	for tb := range rt.RegionOf {
+		if back.RegionOf[tb] != rt.RegionOf[tb] {
+			t.Fatalf("RegionOf[%d] = %d, want %d", tb, back.RegionOf[tb], rt.RegionOf[tb])
+		}
+	}
+}
+
+func TestRegionTableRejectsBadInput(t *testing.T) {
+	cases := []string{
+		"{garbage",
+		`{"format":"wrong","occupancy":1,"numBlocks":0,"numRegions":0,"rows":[]}`,
+		// Rows with a gap.
+		`{"format":"tbpoint-region-table-v1","occupancy":1,"numBlocks":4,"numRegions":2,
+		  "rows":[{"Start":0,"End":1,"ID":0},{"Start":2,"End":4,"ID":1}]}`,
+		// Rows ending short.
+		`{"format":"tbpoint-region-table-v1","occupancy":1,"numBlocks":4,"numRegions":1,
+		  "rows":[{"Start":0,"End":2,"ID":0}]}`,
+		// Out-of-range row.
+		`{"format":"tbpoint-region-table-v1","occupancy":1,"numBlocks":2,"numRegions":1,
+		  "rows":[{"Start":0,"End":5,"ID":0}]}`,
+	}
+	for i, c := range cases {
+		if _, err := ReadRegionTable(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestProfilesRoundTrip(t *testing.T) {
+	k := phasedKernel()
+	app := &kernel.App{Name: "roundtrip", Launches: []*kernel.Launch{
+		uniformLaunch(k, 20, 8, 2),
+		uniformLaunch(k, 10, 4, 6),
+	}}
+	prof := ProfileApp(app)
+
+	var buf bytes.Buffer
+	if err := WriteProfiles(&buf, app.Name, prof.Profiles); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	back, err := ReadProfiles(bytes.NewReader(buf.Bytes()), app.Name)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(back) != len(prof.Profiles) {
+		t.Fatalf("launch count %d, want %d", len(back), len(prof.Profiles))
+	}
+	for li := range back {
+		if len(back[li].Blocks) != len(prof.Profiles[li].Blocks) {
+			t.Fatalf("launch %d block count mismatch", li)
+		}
+		for tb := range back[li].Blocks {
+			if back[li].Blocks[tb] != prof.Profiles[li].Blocks[tb] {
+				t.Fatalf("launch %d block %d differs", li, tb)
+			}
+		}
+	}
+
+	// A reloaded profile drives the pipeline identically to a fresh one.
+	reloaded := &AppProfile{App: app, Profiles: back}
+	a := InterLaunch(prof.Profiles, 0.1)
+	b := InterLaunch(reloaded.Profiles, 0.1)
+	for li := range a.Assign {
+		if a.Assign[li] != b.Assign[li] {
+			t.Fatal("reloaded profile clusters differently")
+		}
+	}
+
+	// Name mismatch is rejected; empty name skips the check.
+	if _, err := ReadProfiles(bytes.NewReader(buf.Bytes()), "other"); err == nil {
+		t.Error("app name mismatch accepted")
+	}
+	if _, err := ReadProfiles(bytes.NewReader(buf.Bytes()), ""); err != nil {
+		t.Errorf("empty-name load failed: %v", err)
+	}
+}
+
+func TestProfilesRejectBadInput(t *testing.T) {
+	if _, err := ReadProfiles(strings.NewReader("{bad"), ""); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadProfiles(strings.NewReader(`{"format":"nope"}`), ""); err == nil {
+		t.Error("wrong format accepted")
+	}
+}

@@ -1,0 +1,194 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§V) against the synthetic benchmark suite: Table I, Table VI,
+// Fig. 5 (model variation), Fig. 8 (kernel types), Fig. 9 (accuracy),
+// Fig. 10 (sample size), Fig. 11 (savings breakdown), and Fig. 12/13
+// (hardware sensitivity).
+//
+// Absolute numbers differ from the paper — the substrate is a from-scratch
+// simulator and synthetic workloads — but the harness reports the same
+// quantities in the same format so the qualitative shape (who wins, by how
+// much, where the outliers are) can be compared directly; see
+// EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"tbpoint/internal/core"
+	"tbpoint/internal/gpusim"
+	"tbpoint/internal/kernel"
+	"tbpoint/internal/sampling"
+	"tbpoint/internal/simpoint"
+	"tbpoint/internal/workloads"
+)
+
+// Options configure a harness run.
+type Options struct {
+	// Scale is the workload scale factor (1.0 = Table VI size).
+	Scale float64
+	// Seed perturbs workload construction and the Random baseline.
+	Seed uint64
+	// Benchmarks restricts the run to the named benchmarks (nil = all 12).
+	Benchmarks []string
+	// RandomFrac is the Random baseline's sampling fraction (paper: 0.10).
+	RandomFrac float64
+	// UnitDivisor sets the fixed sampling-unit size to roughly
+	// totalInsts/UnitDivisor (clamped); the paper's absolute 1M-instruction
+	// units assume multi-billion-instruction kernels, so the unit count is
+	// what must be preserved across scales.
+	UnitDivisor int
+	// MinUnitInsts / MaxUnitInsts clamp the unit size.
+	MinUnitInsts int64
+	MaxUnitInsts int64
+	// TBPoint overrides the TBPoint options (nil = core.DefaultOptions),
+	// for threshold sweeps and ablations.
+	TBPoint *core.Options
+	// Verbose emits progress lines to Out as benchmarks complete.
+	Verbose bool
+	// Out receives report text (required by the Print* helpers).
+	Out io.Writer
+}
+
+// DefaultOptions returns paper-faithful settings at the given scale.
+func DefaultOptions(scale float64) Options {
+	return Options{
+		Scale:        scale,
+		RandomFrac:   0.10,
+		UnitDivisor:  400,
+		MinUnitInsts: 2000,
+		MaxUnitInsts: 1 << 20, // the paper's one-million-instruction units
+	}
+}
+
+func (o Options) specs() ([]*workloads.Spec, error) {
+	if len(o.Benchmarks) == 0 {
+		return workloads.All(), nil
+	}
+	var out []*workloads.Spec
+	for _, name := range o.Benchmarks {
+		s, err := workloads.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func (o Options) unitSize(totalInsts int64) int64 {
+	div := o.UnitDivisor
+	if div < 1 {
+		div = 400
+	}
+	u := totalInsts / int64(div)
+	if u < o.MinUnitInsts {
+		u = o.MinUnitInsts
+	}
+	if o.MaxUnitInsts > 0 && u > o.MaxUnitInsts {
+		u = o.MaxUnitInsts
+	}
+	if u < 1 {
+		u = 1
+	}
+	return u
+}
+
+func (o Options) tbpointOptions() core.Options {
+	if o.TBPoint != nil {
+		return *o.TBPoint
+	}
+	return core.DefaultOptions()
+}
+
+func (o Options) progress(format string, args ...interface{}) {
+	if o.Verbose && o.Out != nil {
+		fmt.Fprintf(o.Out, format+"\n", args...)
+	}
+}
+
+// FullApp simulates every launch of app under sim, collecting fixed units
+// (and BBVs) of the given size.
+func FullApp(sim *gpusim.Simulator, app *kernel.App, unitInsts int64) *sampling.AppRun {
+	run := &sampling.AppRun{}
+	for _, l := range app.Launches {
+		run.Launches = append(run.Launches, sim.RunLaunch(l, gpusim.RunOptions{
+			FixedUnitInsts: unitInsts,
+			CollectBBV:     true,
+		}))
+	}
+	return run
+}
+
+// BenchResult is one benchmark's accuracy outcome under one configuration
+// (the data behind Fig. 9, 10 and 11).
+type BenchResult struct {
+	Name string
+	Type workloads.Type
+
+	// FullIPC is the reference whole-GPU IPC; FullOverallIPC the Fig. 9
+	// per-SM formulation.
+	FullIPC        float64
+	FullOverallIPC float64
+
+	Random   sampling.Estimate
+	SimPoint sampling.Estimate
+	TBPoint  sampling.Estimate
+
+	RandomErr, SimPointErr, TBPointErr float64
+}
+
+// RunBenchmark executes the full §V-B comparison for one benchmark under
+// the given simulator configuration.
+func RunBenchmark(spec *workloads.Spec, cfg gpusim.Config, opts Options) (*BenchResult, error) {
+	sim, err := gpusim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	app := spec.Build(workloads.Config{Scale: opts.Scale, Seed: opts.Seed})
+	prof := core.ProfileApp(app)
+	unit := opts.unitSize(app.TotalWarpInsts())
+
+	full := FullApp(sim, app, unit)
+	r := &BenchResult{
+		Name:           spec.Name,
+		Type:           spec.Type,
+		FullIPC:        full.IPC(),
+		FullOverallIPC: full.OverallIPC(),
+	}
+
+	r.Random = sampling.Random(full, opts.RandomFrac, opts.Seed+0xbeef)
+	r.SimPoint = simpoint.Run(full, simpoint.DefaultOptions()).Estimate
+
+	tb, err := core.Run(sim, prof, opts.tbpointOptions())
+	if err != nil {
+		return nil, err
+	}
+	r.TBPoint = tb.Estimate
+
+	r.RandomErr = r.Random.Error(full)
+	r.SimPointErr = r.SimPoint.Error(full)
+	r.TBPointErr = r.TBPoint.Error(full)
+	return r, nil
+}
+
+// RunAccuracy runs the comparison across the selected benchmarks at the
+// default (Table V) configuration.
+func RunAccuracy(opts Options) ([]*BenchResult, error) {
+	specs, err := opts.specs()
+	if err != nil {
+		return nil, err
+	}
+	var out []*BenchResult
+	for _, s := range specs {
+		r, err := RunBenchmark(s, gpusim.DefaultConfig(), opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.Name, err)
+		}
+		opts.progress("# %-8s full IPC %.3f | err%%: random %.2f simpoint %.2f tbpoint %.2f | size%%: %.1f %.1f %.1f",
+			r.Name, r.FullIPC, r.RandomErr*100, r.SimPointErr*100, r.TBPointErr*100,
+			r.Random.SampleSize*100, r.SimPoint.SampleSize*100, r.TBPoint.SampleSize*100)
+		out = append(out, r)
+	}
+	return out, nil
+}

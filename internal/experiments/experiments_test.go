@@ -1,0 +1,445 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"tbpoint/internal/gpusim"
+)
+
+func fastOpts() Options {
+	o := DefaultOptions(0.02)
+	o.UnitDivisor = 100
+	o.MinUnitInsts = 500
+	return o
+}
+
+func TestRunBenchmarkSmall(t *testing.T) {
+	opts := fastOpts()
+	cfg := gpusim.DefaultConfig()
+	cfg.NumSMs = 4
+	for _, name := range []string{"cfd", "mst"} {
+		r, err := runByName(name, cfg, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if r.FullIPC <= 0 {
+			t.Errorf("%s: no full IPC", name)
+		}
+		for _, est := range []struct {
+			n string
+			v float64
+		}{
+			{"random", r.Random.PredictedIPC},
+			{"simpoint", r.SimPoint.PredictedIPC},
+			{"tbpoint", r.TBPoint.PredictedIPC},
+		} {
+			if est.v <= 0 {
+				t.Errorf("%s: %s predicted nothing", name, est.n)
+			}
+		}
+		if r.TBPoint.SampleSize <= 0 || r.TBPoint.SampleSize > 1 {
+			t.Errorf("%s: sample size %v", name, r.TBPoint.SampleSize)
+		}
+	}
+}
+
+func runByName(name string, cfg gpusim.Config, opts Options) (*BenchResult, error) {
+	opts.Benchmarks = []string{name}
+	specs, err := opts.specs()
+	if err != nil {
+		return nil, err
+	}
+	return RunBenchmark(specs[0], cfg, opts)
+}
+
+func TestRunAccuracySubset(t *testing.T) {
+	opts := fastOpts()
+	opts.Benchmarks = []string{"stream", "black"}
+	results, err := RunAccuracy(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+	var buf bytes.Buffer
+	PrintFig9(&buf, results)
+	PrintFig10(&buf, results)
+	PrintFig11(&buf, results)
+	out := buf.String()
+	for _, want := range []string{"Figure 9", "Figure 10", "Figure 11", "stream", "black", "geomean"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestRunAccuracyUnknownBenchmark(t *testing.T) {
+	opts := fastOpts()
+	opts.Benchmarks = []string{"nope"}
+	if _, err := RunAccuracy(opts); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestUnitSizeClamps(t *testing.T) {
+	o := DefaultOptions(1)
+	if got := o.unitSize(400 * 1000); got != 2000 {
+		t.Errorf("small total: unit %d, want min 2000", got)
+	}
+	if got := o.unitSize(400 << 21); got != 1<<20 {
+		t.Errorf("huge total: unit %d, want max 1M", got)
+	}
+	if got := o.unitSize(400 * 10000); got != 10000 {
+		t.Errorf("mid total: unit %d, want 10000", got)
+	}
+}
+
+func TestRunFig5(t *testing.T) {
+	results := RunFig5(500, 3)
+	if len(results) != len(Fig5Configs()) {
+		t.Fatalf("got %d results", len(results))
+	}
+	for _, r := range results {
+		if r.Within10 < 0.95 {
+			t.Errorf("config %+v violates Lemma 4.1: %.3f", r.Config, r.Within10)
+		}
+		if r.MeanIPC <= 0 || r.MeanIPC > 1 {
+			t.Errorf("config %+v mean IPC %v", r.Config, r.MeanIPC)
+		}
+	}
+	var buf bytes.Buffer
+	PrintFig5(&buf, results)
+	if !strings.Contains(buf.String(), "Lemma 4.1") {
+		t.Error("fig5 report incomplete")
+	}
+}
+
+func TestRunFig8(t *testing.T) {
+	series, err := RunFig8([]string{"conv", "mst"}, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("got %d series", len(series))
+	}
+	if series[0].Name != "conv" || series[1].Name != "mst" {
+		t.Error("series order")
+	}
+	var buf bytes.Buffer
+	PrintFig8(&buf, series)
+	if !strings.Contains(buf.String(), "Figure 8") {
+		t.Error("fig8 report incomplete")
+	}
+	if _, err := RunFig8([]string{"nope"}, fastOpts()); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestRunTable6(t *testing.T) {
+	rows, err := RunTable6(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	var buf bytes.Buffer
+	PrintTable6(&buf, rows, 0.02)
+	if !strings.Contains(buf.String(), "Table VI") {
+		t.Error("table6 report incomplete")
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	res := RunTable1(1e6) // 1M warp insts/s
+	if len(res.Rows) != 7 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	if res.Slowdown <= 0 {
+		t.Error("no slowdown computed")
+	}
+	// NB at 28557 ms and the assumed GPU rate: longest projection.
+	if res.Rows[0].SimTime <= res.Rows[6].SimTime {
+		t.Error("NB should project longer than MM")
+	}
+	var buf bytes.Buffer
+	PrintTable1(&buf, res)
+	if !strings.Contains(buf.String(), "Table I") {
+		t.Error("table1 report incomplete")
+	}
+}
+
+func TestMeasureSimThroughput(t *testing.T) {
+	thr := MeasureSimThroughput(0.01)
+	if thr <= 0 {
+		t.Error("non-positive throughput")
+	}
+}
+
+func TestHumanDuration(t *testing.T) {
+	cases := []struct {
+		secs float64
+		want string
+	}{
+		{30, "minutes"},
+		{7200, "hours"},
+		{3 * 24 * 3600, "days"},
+		{15 * 24 * 3600, "weeks"},
+	}
+	for _, c := range cases {
+		got := humanDuration(durationSeconds(c.secs))
+		if !strings.Contains(got, c.want) {
+			t.Errorf("humanDuration(%vs) = %q, want %q", c.secs, got, c.want)
+		}
+	}
+}
+
+func TestRunSensitivitySmall(t *testing.T) {
+	opts := fastOpts()
+	opts.Benchmarks = []string{"stream"}
+	results, err := RunSensitivity(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(HWConfigs()) {
+		t.Fatalf("got %d results", len(results))
+	}
+	for _, r := range results {
+		if r.SampleSize <= 0 || r.SampleSize > 1 {
+			t.Errorf("%s %s: sample %v", r.Bench, r.Config.Name(), r.SampleSize)
+		}
+		if r.Err < 0 {
+			t.Errorf("%s: negative error", r.Bench)
+		}
+	}
+	var buf bytes.Buffer
+	PrintFig12(&buf, results)
+	PrintFig13(&buf, results)
+	out := buf.String()
+	if !strings.Contains(out, "Figure 12") || !strings.Contains(out, "Figure 13") {
+		t.Error("sensitivity report incomplete")
+	}
+	if !strings.Contains(out, "W16S8") {
+		t.Error("missing config column")
+	}
+}
+
+func TestGeoFloor(t *testing.T) {
+	// Exact zeros must not collapse the geomean.
+	g := geo([]float64{0, 0.01})
+	if g < 0.0009 {
+		t.Errorf("geo([0, 0.01]) = %v too small", g)
+	}
+}
+
+func TestTableWriter(t *testing.T) {
+	tb := &table{header: []string{"a", "bb"}}
+	tb.addRow("1", "2")
+	tb.addRow("333", "4")
+	var buf bytes.Buffer
+	tb.write(&buf)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines: %q", len(lines), buf.String())
+	}
+}
+
+// durationSeconds converts seconds to a time.Duration for tests.
+func durationSeconds(s float64) time.Duration { return time.Duration(s * 1e9) }
+
+func TestParallelMatchesSequential(t *testing.T) {
+	opts := fastOpts()
+	opts.Benchmarks = []string{"stream", "black", "hotspot"}
+	seq, err := RunAccuracy(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := Parallelism
+	Parallelism = 3
+	defer func() { Parallelism = old }()
+	par, err := RunAccuracyParallel(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(seq) {
+		t.Fatalf("length mismatch %d vs %d", len(par), len(seq))
+	}
+	for i := range seq {
+		if par[i].Name != seq[i].Name {
+			t.Fatalf("order differs: %s vs %s", par[i].Name, seq[i].Name)
+		}
+		if par[i].FullIPC != seq[i].FullIPC || par[i].TBPointErr != seq[i].TBPointErr {
+			t.Errorf("%s: parallel run differs from sequential", seq[i].Name)
+		}
+	}
+}
+
+func TestSensitivityParallelMatches(t *testing.T) {
+	opts := fastOpts()
+	opts.Benchmarks = []string{"stream"}
+	seq, err := RunSensitivity(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunSensitivityParallel(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(seq) {
+		t.Fatalf("length mismatch")
+	}
+	for i := range seq {
+		if par[i] != seq[i] {
+			t.Errorf("cell %d differs: %+v vs %+v", i, par[i], seq[i])
+		}
+	}
+}
+
+func TestForEachIndexedError(t *testing.T) {
+	err := forEachIndexed(10, func(i int) error {
+		if i == 7 {
+			return errBoom
+		}
+		return nil
+	})
+	if err == nil {
+		t.Error("error swallowed")
+	}
+	// Sequential path (single worker).
+	old := Parallelism
+	Parallelism = 1
+	defer func() { Parallelism = old }()
+	if err := forEachIndexed(3, func(i int) error { return nil }); err != nil {
+		t.Error(err)
+	}
+}
+
+var errBoom = fmt.Errorf("boom")
+
+func TestResultsJSONRoundTrip(t *testing.T) {
+	opts := fastOpts()
+	opts.Benchmarks = []string{"stream"}
+	acc, err := RunAccuracy(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundle := &Results{
+		Scale:    opts.Scale,
+		Table1:   RunTable1(1e6),
+		Fig5:     RunFig5(100, 1),
+		Accuracy: acc,
+	}
+	var buf bytes.Buffer
+	if err := bundle.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadResults(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Scale != bundle.Scale || len(back.Accuracy) != 1 || len(back.Fig5) != len(bundle.Fig5) {
+		t.Error("round trip lost data")
+	}
+	if back.Accuracy[0].TBPointErr != acc[0].TBPointErr {
+		t.Error("accuracy values mangled")
+	}
+	if back.Table1.Slowdown != bundle.Table1.Slowdown {
+		t.Error("table1 mangled")
+	}
+	if _, err := ReadResults(strings.NewReader("{garbage")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+}
+
+func TestRunMotivation(t *testing.T) {
+	opts := fastOpts()
+	opts.Benchmarks = []string{"kmeans", "bfs"}
+	results, err := RunMotivation(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for _, r := range results {
+		if r.Units < 2 {
+			t.Errorf("%s: %d launches (need pairs)", r.Bench, r.Units)
+		}
+		if r.BBVCorr < -1 || r.BBVCorr > 1 || r.FeatureCorr < -1 || r.FeatureCorr > 1 {
+			t.Errorf("%s: correlations out of range: %v %v", r.Bench, r.BBVCorr, r.FeatureCorr)
+		}
+	}
+	var buf bytes.Buffer
+	PrintMotivation(&buf, results)
+	if !strings.Contains(buf.String(), "Motivation") {
+		t.Error("report incomplete")
+	}
+	if _, err := RunMotivation(Options{Benchmarks: []string{"nope"}}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestMotivationBBVWeakOnIrregular(t *testing.T) {
+	// The §III claim is that BBVs correlate weakly with GPGPU performance
+	// (Lau et al. measured ~0.9 on CPUs): on the irregular bfs, whose
+	// performance differences are divergence-driven, the BBV correlation
+	// must stay far below the CPU-class level.
+	opts := fastOpts()
+	opts.Scale = 0.1
+	opts.Benchmarks = []string{"bfs"}
+	results, err := RunMotivation(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := results[0]; r.BBVCorr > 0.8 {
+		t.Errorf("BBV corr %+.3f unexpectedly CPU-like on bfs", r.BBVCorr)
+	}
+}
+
+func TestRunTable1PerKernel(t *testing.T) {
+	res := RunTable1PerKernel(0.01)
+	if len(res.Rows) != 7 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.WarpInstsPerSec <= 0 {
+			t.Errorf("%s: no per-kernel throughput", row.Kernel.Name)
+		}
+		if row.SimTime <= 0 {
+			t.Errorf("%s: no projection", row.Kernel.Name)
+		}
+	}
+	var buf bytes.Buffer
+	PrintTable1(&buf, res)
+	if !strings.Contains(buf.String(), "sim insts/s") {
+		t.Error("per-kernel column missing")
+	}
+}
+
+func TestRunAblationsSmall(t *testing.T) {
+	opts := fastOpts()
+	opts.Scale = 0.05
+	results, err := RunAblations(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 warming variants x 3 benches + 3 sigma variants x 1 bench.
+	if len(results) != 12 {
+		t.Fatalf("got %d cells, want 12", len(results))
+	}
+	for _, r := range results {
+		if r.SampleSize <= 0 || r.SampleSize > 1 {
+			t.Errorf("%s/%s/%s: sample %v", r.Study, r.Variant, r.Bench, r.SampleSize)
+		}
+	}
+	var buf bytes.Buffer
+	PrintAblations(&buf, results)
+	if !strings.Contains(buf.String(), "warming") {
+		t.Error("ablation report incomplete")
+	}
+}

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Results bundles everything a harness invocation produced, for machine
+// consumption (plotting, regression tracking). Sections that did not run
+// are nil and omitted.
+type Results struct {
+	Scale       float64            `json:"scale"`
+	Seed        uint64             `json:"seed"`
+	Table6      []Table6Row        `json:"table6,omitempty"`
+	Table1      *Table1Result      `json:"table1,omitempty"`
+	Fig5        []Fig5Result       `json:"fig5,omitempty"`
+	Fig8        []Fig8Series       `json:"fig8,omitempty"`
+	Motivation  []MotivationResult `json:"motivation,omitempty"`
+	Ablations   []AblationResult   `json:"ablations,omitempty"`
+	Accuracy    []*BenchResult     `json:"accuracy,omitempty"`
+	Sensitivity []SensResult       `json:"sensitivity,omitempty"`
+}
+
+// WriteJSON serialises the results with stable indentation.
+func (r *Results) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadResults decodes a Results bundle (for tooling round trips).
+func ReadResults(r io.Reader) (*Results, error) {
+	var out Results
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"tbpoint/internal/core"
+	"tbpoint/internal/gpusim"
+	"tbpoint/internal/workloads"
+)
+
+// Parallelism controls how many benchmarks the harness evaluates
+// concurrently; each benchmark's own simulation remains sequential (the
+// simulator models one machine). Zero means GOMAXPROCS.
+var Parallelism = 0
+
+func workers() int {
+	if Parallelism > 0 {
+		return Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEachIndexed runs fn(i) for i in [0, n) on a bounded worker pool,
+// returning the first error encountered (all workers drain regardless so
+// no goroutine leaks).
+func forEachIndexed(n int, fn func(i int) error) error {
+	w := workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	idx := make(chan int)
+	errs := make(chan error, n)
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs <- fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunAccuracyParallel is RunAccuracy with the per-benchmark work fanned out
+// over a worker pool. Results are returned in benchmark (table) order and
+// are identical to the sequential run: every stochastic component is
+// seeded per benchmark, never shared.
+func RunAccuracyParallel(opts Options) ([]*BenchResult, error) {
+	specs, err := opts.specs()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*BenchResult, len(specs))
+	err = forEachIndexed(len(specs), func(i int) error {
+		r, err := RunBenchmark(specs[i], gpusim.DefaultConfig(), opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", specs[i].Name, err)
+		}
+		opts.progress("# %-8s done (tbpoint err %.2f%%, size %.1f%%)",
+			r.Name, r.TBPointErr*100, r.TBPoint.SampleSize*100)
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RunSensitivityParallel fans the (benchmark x configuration) grid out
+// over a worker pool; each cell is independent. Results follow the same
+// ordering as RunSensitivity (benchmarks in table order, configurations in
+// sweep order).
+func RunSensitivityParallel(opts Options) ([]SensResult, error) {
+	specs, err := opts.specs()
+	if err != nil {
+		return nil, err
+	}
+	configs := HWConfigs()
+	type cell struct {
+		spec *workloads.Spec
+		hc   HWConfig
+	}
+	var cells []cell
+	for _, s := range specs {
+		for _, hc := range configs {
+			cells = append(cells, cell{s, hc})
+		}
+	}
+	// Profiles are shared per benchmark; precompute them once (cheap,
+	// analytic) so workers only simulate.
+	type prep struct {
+		prof  *core.AppProfile
+		inter *core.InterResult
+	}
+	preps := map[string]*prep{}
+	for _, s := range specs {
+		app := s.Build(workloads.Config{Scale: opts.Scale, Seed: opts.Seed})
+		prof := core.ProfileApp(app)
+		preps[s.Name] = &prep{
+			prof:  prof,
+			inter: core.InterLaunch(prof.Profiles, opts.tbpointOptions().SigmaInter),
+		}
+	}
+	out := make([]SensResult, len(cells))
+	err = forEachIndexed(len(cells), func(i int) error {
+		c := cells[i]
+		p := preps[c.spec.Name]
+		cfg := gpusim.DefaultConfig().WithOccupancy(c.hc.Warps, c.hc.SMs)
+		sim, err := gpusim.New(cfg)
+		if err != nil {
+			return err
+		}
+		full := FullApp(sim, p.prof.App, opts.unitSize(p.prof.App.TotalWarpInsts()))
+		res, err := core.Retarget(sim, p.prof, p.inter, opts.tbpointOptions())
+		if err != nil {
+			return err
+		}
+		out[i] = SensResult{
+			Bench:      c.spec.Name,
+			Type:       c.spec.Type,
+			Config:     c.hc,
+			Err:        res.Estimate.Error(full),
+			SampleSize: res.Estimate.SampleSize,
+		}
+		opts.progress("# %-8s %-7s err %.2f%% size %.1f%%",
+			out[i].Bench, c.hc.Name(), out[i].Err*100, out[i].SampleSize*100)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

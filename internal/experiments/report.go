@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"tbpoint/internal/stats"
+)
+
+// table is a minimal fixed-width text table writer.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) addRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) write(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+func pct(v float64) string { return fmt.Sprintf("%.2f%%", v*100) }
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+
+// geo computes a geometric mean with entries floored at 0.01% so that an
+// exact-zero sampling error (possible at small scales) does not collapse
+// the mean; the paper's own entries are all comfortably above this floor.
+func geo(vs []float64) float64 {
+	floored := make([]float64, len(vs))
+	for i, v := range vs {
+		if v < 1e-4 {
+			v = 1e-4
+		}
+		floored[i] = v
+	}
+	return stats.GeoMean(floored)
+}
+
+// PrintFig9 renders the overall-IPC comparison and sampling-error geomeans.
+func PrintFig9(w io.Writer, results []*BenchResult) {
+	fmt.Fprintln(w, "Figure 9: Overall IPC (whole-GPU) and sampling error")
+	t := &table{header: []string{"bench", "type", "full IPC", "overall(per-SM)",
+		"Random", "Ideal-Simpoint", "TBPoint",
+		"err(Rand)", "err(SP)", "err(TBP)"}}
+	var er, es, et []float64
+	for _, r := range results {
+		t.addRow(r.Name, r.Type.String(), f3(r.FullIPC), f3(r.FullOverallIPC),
+			f3(r.Random.PredictedIPC), f3(r.SimPoint.PredictedIPC), f3(r.TBPoint.PredictedIPC),
+			pct(r.RandomErr), pct(r.SimPointErr), pct(r.TBPointErr))
+		er = append(er, r.RandomErr)
+		es = append(es, r.SimPointErr)
+		et = append(et, r.TBPointErr)
+	}
+	t.addRow("geomean", "", "", "", "", "", "", pct(geo(er)), pct(geo(es)), pct(geo(et)))
+	t.addRow("mean", "", "", "", "", "", "", pct(stats.Mean(er)), pct(stats.Mean(es)), pct(stats.Mean(et)))
+	t.addRow("max", "", "", "", "", "", "", pct(stats.Max(er)), pct(stats.Max(es)), pct(stats.Max(et)))
+	t.write(w)
+	fmt.Fprintf(w, "paper geomeans: Random 7.95%%, Ideal-Simpoint 1.74%%, TBPoint 0.47%%\n\n")
+}
+
+// PrintFig10 renders total sample sizes.
+func PrintFig10(w io.Writer, results []*BenchResult) {
+	fmt.Fprintln(w, "Figure 10: Total sample size (simulated / total warp instructions)")
+	t := &table{header: []string{"bench", "type", "Random", "Ideal-Simpoint", "TBPoint"}}
+	var sr, ss, st []float64
+	for _, r := range results {
+		t.addRow(r.Name, r.Type.String(),
+			pct(r.Random.SampleSize), pct(r.SimPoint.SampleSize), pct(r.TBPoint.SampleSize))
+		sr = append(sr, r.Random.SampleSize)
+		ss = append(ss, r.SimPoint.SampleSize)
+		st = append(st, r.TBPoint.SampleSize)
+	}
+	t.addRow("geomean", "", pct(geo(sr)), pct(geo(ss)), pct(geo(st)))
+	t.write(w)
+	fmt.Fprintf(w, "paper geomeans: Random 10%%, Ideal-Simpoint 5.4%%, TBPoint 2.6%%\n\n")
+}
+
+// PrintFig11 renders the inter/intra savings breakdown.
+func PrintFig11(w io.Writer, results []*BenchResult) {
+	fmt.Fprintln(w, "Figure 11: Breakdown of skipped instructions (inter vs intra launch)")
+	t := &table{header: []string{"bench", "type",
+		"TBP inter%", "TBP intra%", "SP inter%", "SP intra%"}}
+	for _, r := range results {
+		ti := r.TBPoint.InterFraction()
+		si := r.SimPoint.InterFraction()
+		t.addRow(r.Name, r.Type.String(),
+			pct(ti), pct(1-ti), pct(si), pct(1-si))
+	}
+	t.write(w)
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"tbpoint/internal/core"
+	"tbpoint/internal/gpusim"
+	"tbpoint/internal/workloads"
+)
+
+// HWConfig is one Fig. 12/13 hardware point: W warps per SM, S SMs.
+type HWConfig struct {
+	Warps int
+	SMs   int
+}
+
+func (h HWConfig) Name() string { return fmt.Sprintf("W%dS%d", h.Warps, h.SMs) }
+
+// HWConfigs returns the sensitivity sweep. W32S14 approximates the default
+// Table V machine; the others vary the system occupancy in both directions.
+func HWConfigs() []HWConfig {
+	return []HWConfig{
+		{Warps: 16, SMs: 8},
+		{Warps: 32, SMs: 14},
+		{Warps: 48, SMs: 14},
+		{Warps: 64, SMs: 28},
+	}
+}
+
+// SensResult is one (benchmark, configuration) sensitivity outcome for
+// TBPoint with one-time profiling: the profile and inter-launch clustering
+// are computed once and reused across configurations (§V-C).
+type SensResult struct {
+	Bench      string
+	Type       workloads.Type
+	Config     HWConfig
+	Err        float64
+	SampleSize float64
+}
+
+// RunSensitivity evaluates TBPoint across the hardware sweep.
+func RunSensitivity(opts Options) ([]SensResult, error) {
+	specs, err := opts.specs()
+	if err != nil {
+		return nil, err
+	}
+	var out []SensResult
+	for _, spec := range specs {
+		app := spec.Build(workloads.Config{Scale: opts.Scale, Seed: opts.Seed})
+		// One-time profiling + inter-launch clustering, shared by every
+		// hardware configuration.
+		prof := core.ProfileApp(app)
+		inter := core.InterLaunch(prof.Profiles, opts.tbpointOptions().SigmaInter)
+
+		for _, hc := range HWConfigs() {
+			cfg := gpusim.DefaultConfig().WithOccupancy(hc.Warps, hc.SMs)
+			sim, err := gpusim.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			full := FullApp(sim, app, opts.unitSize(app.TotalWarpInsts()))
+			res, err := core.Retarget(sim, prof, inter, opts.tbpointOptions())
+			if err != nil {
+				return nil, err
+			}
+			sr := SensResult{
+				Bench:      spec.Name,
+				Type:       spec.Type,
+				Config:     hc,
+				Err:        res.Estimate.Error(full),
+				SampleSize: res.Estimate.SampleSize,
+			}
+			opts.progress("# %-8s %-7s err %.2f%% size %.1f%%",
+				sr.Bench, hc.Name(), sr.Err*100, sr.SampleSize*100)
+			out = append(out, sr)
+		}
+	}
+	return out, nil
+}
+
+// PrintFig12 renders sampling errors per hardware configuration.
+func PrintFig12(w io.Writer, results []SensResult) {
+	fmt.Fprintln(w, "Figure 12: TBPoint sampling error across hardware configurations")
+	printSensTable(w, results, func(r SensResult) string { return pct(r.Err) })
+	fmt.Fprintln(w, "paper: maximum error rate below 14%")
+	fmt.Fprintln(w)
+}
+
+// PrintFig13 renders sample sizes per hardware configuration.
+func PrintFig13(w io.Writer, results []SensResult) {
+	fmt.Fprintln(w, "Figure 13: TBPoint total sample size across hardware configurations")
+	printSensTable(w, results, func(r SensResult) string { return pct(r.SampleSize) })
+	fmt.Fprintln(w)
+}
+
+func printSensTable(w io.Writer, results []SensResult, cell func(SensResult) string) {
+	configs := HWConfigs()
+	header := []string{"bench", "type"}
+	for _, c := range configs {
+		header = append(header, c.Name())
+	}
+	t := &table{header: header}
+	byBench := map[string][]SensResult{}
+	var order []string
+	for _, r := range results {
+		if _, ok := byBench[r.Bench]; !ok {
+			order = append(order, r.Bench)
+		}
+		byBench[r.Bench] = append(byBench[r.Bench], r)
+	}
+	for _, b := range order {
+		row := []string{b, byBench[b][0].Type.String()}
+		for _, c := range configs {
+			v := "-"
+			for _, r := range byBench[b] {
+				if r.Config == c {
+					v = cell(r)
+				}
+			}
+			row = append(row, v)
+		}
+		t.addRow(row...)
+	}
+	t.write(w)
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"tbpoint/internal/workloads"
+)
+
+// Table6Row is one benchmark-inventory row.
+type Table6Row struct {
+	Name     string
+	Suite    string
+	Type     workloads.Type
+	Launches int
+	Blocks   int
+}
+
+// RunTable6 builds the benchmark inventory at the given scale.
+func RunTable6(opts Options) ([]Table6Row, error) {
+	specs, err := opts.specs()
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table6Row
+	for _, s := range specs {
+		app := s.Build(workloads.Config{Scale: opts.Scale, Seed: opts.Seed})
+		rows = append(rows, Table6Row{
+			Name:     s.Name,
+			Suite:    s.Suite,
+			Type:     s.Type,
+			Launches: len(app.Launches),
+			Blocks:   app.TotalBlocks(),
+		})
+	}
+	return rows, nil
+}
+
+// PrintTable6 renders the inventory in the paper's layout.
+func PrintTable6(w io.Writer, rows []Table6Row, scale float64) {
+	fmt.Fprintf(w, "Table VI: Evaluated benchmarks (scale %.3g; type I = irregular, II = regular)\n", scale)
+	t := &table{header: []string{"bench", "suite", "type", "launches", "thread blocks"}}
+	for _, r := range rows {
+		t.addRow(r.Name, r.Suite, r.Type.String(),
+			fmt.Sprintf("%d", r.Launches), fmt.Sprintf("%d", r.Blocks))
+	}
+	t.write(w)
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,187 @@
+// Package funcsim is the functional profiler — our substitute for GPUOcelot
+// (§II-B). It executes kernel launches functionally (no timing) and collects
+// the per-thread-block statistics TBPoint's profiling consumes:
+//
+//   - thread instructions per block (the "thread block size"),
+//   - warp instructions per block,
+//   - global/local memory requests per block,
+//   - per-basic-block execution counts.
+//
+// Profiling is hardware independent — none of these counters depend on the
+// simulated configuration — which is what gives TBPoint its one-time
+// profiling property (Table II).
+//
+// Two paths produce identical results: ProfileLaunch derives the counters
+// analytically from the kernel IR (fast; used for large launches), and
+// EmulateLaunch walks the launch's instruction streams event by event
+// (the reference implementation; also the only option for recorded traces).
+// The test suite checks they agree.
+package funcsim
+
+import (
+	"tbpoint/internal/kernel"
+	"tbpoint/internal/stats"
+	"tbpoint/internal/trace"
+)
+
+// TBProfile holds the profiled counters of one thread block.
+type TBProfile struct {
+	ThreadInsts int64
+	WarpInsts   int64
+	MemRequests int64
+}
+
+// StallProb is the approximated stall probability of the block: the ratio
+// of memory requests to warp instructions (§IV-B1). It returns 0 for an
+// empty block.
+func (p TBProfile) StallProb() float64 {
+	if p.WarpInsts == 0 {
+		return 0
+	}
+	return float64(p.MemRequests) / float64(p.WarpInsts)
+}
+
+// LaunchProfile holds the profile of one kernel launch.
+type LaunchProfile struct {
+	// Blocks is indexed by thread block ID.
+	Blocks []TBProfile
+	// BlockCounts are aggregate per-basic-block executed-instruction counts
+	// across the launch (one entry per static basic block of the kernel
+	// program), the SimPoint BBV weighting.
+	BlockCounts []int64
+}
+
+// NumBlocks returns the number of thread blocks profiled.
+func (lp *LaunchProfile) NumBlocks() int { return len(lp.Blocks) }
+
+// TotalThreadInsts returns the launch's thread instructions (the "kernel
+// launch size" feature of Eq. 2).
+func (lp *LaunchProfile) TotalThreadInsts() int64 {
+	var n int64
+	for _, b := range lp.Blocks {
+		n += b.ThreadInsts
+	}
+	return n
+}
+
+// TotalWarpInsts returns the launch's warp instructions (the "control flow
+// divergence" feature of Eq. 2).
+func (lp *LaunchProfile) TotalWarpInsts() int64 {
+	var n int64
+	for _, b := range lp.Blocks {
+		n += b.WarpInsts
+	}
+	return n
+}
+
+// TotalMemRequests returns the launch's memory requests (the "memory
+// divergence" feature of Eq. 2).
+func (lp *LaunchProfile) TotalMemRequests() int64 {
+	var n int64
+	for _, b := range lp.Blocks {
+		n += b.MemRequests
+	}
+	return n
+}
+
+// TBSizes returns the per-block thread-instruction counts as floats, the
+// series behind the Fig. 8 scatter plots and the CoV feature of Eq. 2.
+func (lp *LaunchProfile) TBSizes() []float64 {
+	out := make([]float64, len(lp.Blocks))
+	for i, b := range lp.Blocks {
+		out[i] = float64(b.ThreadInsts)
+	}
+	return out
+}
+
+// TBSizeCoV returns the coefficient of variation of thread-block sizes
+// (the "thread block variations" feature of Eq. 2).
+func (lp *LaunchProfile) TBSizeCoV() float64 {
+	return stats.CoV(lp.TBSizes())
+}
+
+// ProfileLaunch profiles a launch analytically from its IR. It is
+// equivalent to EmulateLaunch over the launch's synthetic trace.
+func ProfileLaunch(l *kernel.Launch) *LaunchProfile {
+	nb := l.NumBlocks()
+	lp := &LaunchProfile{
+		Blocks:      make([]TBProfile, nb),
+		BlockCounts: make([]int64, len(l.Kernel.Program.Blocks)),
+	}
+	warps := int64(l.Kernel.WarpsPerBlock())
+	for tb := 0; tb < nb; tb++ {
+		lp.Blocks[tb] = TBProfile{
+			ThreadInsts: l.ThreadInsts(tb),
+			WarpInsts:   l.WarpInsts(tb),
+			MemRequests: l.MemRequests(tb),
+		}
+		for bi, c := range l.Kernel.Program.BlockCounts(l.Params[tb].Trips) {
+			// BBV semantics follow SimPoint: a basic block's weight is the
+			// number of instructions executed within it, not the number of
+			// times it was entered.
+			lp.BlockCounts[bi] += c * warps * int64(len(l.Kernel.Program.Blocks[bi].Instrs))
+		}
+	}
+	return lp
+}
+
+// ProfileApp profiles every launch of an application.
+func ProfileApp(app *kernel.App) []*LaunchProfile {
+	out := make([]*LaunchProfile, len(app.Launches))
+	for i, l := range app.Launches {
+		out[i] = ProfileLaunch(l)
+	}
+	return out
+}
+
+// EmulateLaunch profiles a launch by walking its instruction streams. The
+// active-lane fraction cannot be recovered from a bare trace, so thread
+// instructions are derived from the per-event request counts for memory
+// instructions and assumed fully active otherwise when af is nil; pass af
+// to supply the per-block active fractions (as ProfileLaunch uses).
+func EmulateLaunch(p trace.Provider, af func(tb int) float64) *LaunchProfile {
+	nb, wpb := p.NumBlocks(), p.WarpsPerBlock()
+	lp := &LaunchProfile{Blocks: make([]TBProfile, nb)}
+	var addrs [trace.MaxRequests]uint64
+	maxBlock := 0
+	for tb := 0; tb < nb; tb++ {
+		frac := 1.0
+		if af != nil {
+			if f := af(tb); f > 0 && f <= 1 {
+				frac = f
+			}
+		}
+		var prof TBProfile
+		for w := 0; w < wpb; w++ {
+			st := p.WarpStream(tb, w)
+			for {
+				ev, ok := st.Next(addrs[:])
+				if !ok {
+					break
+				}
+				prof.WarpInsts++
+				prof.MemRequests += int64(ev.NumReq)
+				if int(ev.Block) > maxBlock {
+					maxBlock = int(ev.Block)
+				}
+			}
+		}
+		prof.ThreadInsts = int64(float64(prof.WarpInsts) * kernel.WarpSize * frac)
+		lp.Blocks[tb] = prof
+	}
+	// Second pass for block counts sized by the largest block index seen.
+	lp.BlockCounts = make([]int64, maxBlock+1)
+	for tb := 0; tb < nb; tb++ {
+		for w := 0; w < wpb; w++ {
+			st := p.WarpStream(tb, w)
+			for {
+				ev, ok := st.Next(addrs[:])
+				if !ok {
+					break
+				}
+				lp.BlockCounts[ev.Block]++
+			}
+		}
+	}
+	return lp
+}

@@ -1,0 +1,167 @@
+package funcsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tbpoint/internal/isa"
+	"tbpoint/internal/kernel"
+	"tbpoint/internal/trace"
+)
+
+func buildLaunch(nBlocks int, af float64) *kernel.Launch {
+	prog := isa.NewBuilder("t").
+		Block(isa.IALU(), isa.IALU()).
+		LoopBlocks(0, isa.Load(4, 1, 128), isa.FALU(), isa.Branch()).
+		EndBlock(isa.Store(2, 2, 0)).
+		Build()
+	k := &kernel.Kernel{Name: "t", Program: prog, ThreadsPerBlock: 64}
+	params := make([]kernel.TBParams, nBlocks)
+	for i := range params {
+		params[i] = kernel.TBParams{Trips: []int{1 + i%4}, ActiveFrac: af, Seed: uint64(i)}
+	}
+	return &kernel.Launch{Kernel: k, Params: params}
+}
+
+func TestProfileLaunchCounters(t *testing.T) {
+	l := buildLaunch(6, 1.0)
+	lp := ProfileLaunch(l)
+	if lp.NumBlocks() != 6 {
+		t.Fatalf("NumBlocks = %d", lp.NumBlocks())
+	}
+	for tb := 0; tb < 6; tb++ {
+		if lp.Blocks[tb].WarpInsts != l.WarpInsts(tb) {
+			t.Errorf("tb %d warp insts %d != %d", tb, lp.Blocks[tb].WarpInsts, l.WarpInsts(tb))
+		}
+		if lp.Blocks[tb].ThreadInsts != l.ThreadInsts(tb) {
+			t.Errorf("tb %d thread insts mismatch", tb)
+		}
+		if lp.Blocks[tb].MemRequests != l.MemRequests(tb) {
+			t.Errorf("tb %d mem requests mismatch", tb)
+		}
+	}
+	if lp.TotalWarpInsts() != l.TotalWarpInsts() {
+		t.Error("TotalWarpInsts mismatch")
+	}
+	if lp.TotalThreadInsts() != l.TotalThreadInsts() {
+		t.Error("TotalThreadInsts mismatch")
+	}
+	if lp.TotalMemRequests() != l.TotalMemRequests() {
+		t.Error("TotalMemRequests mismatch")
+	}
+}
+
+func TestStallProb(t *testing.T) {
+	p := TBProfile{WarpInsts: 100, MemRequests: 20}
+	if got := p.StallProb(); got != 0.2 {
+		t.Errorf("StallProb = %v, want 0.2", got)
+	}
+	if got := (TBProfile{}).StallProb(); got != 0 {
+		t.Errorf("StallProb(empty) = %v, want 0", got)
+	}
+}
+
+func TestEmulateMatchesAnalytic(t *testing.T) {
+	for _, af := range []float64{1.0, 0.5} {
+		l := buildLaunch(5, af)
+		analytic := ProfileLaunch(l)
+		emulated := EmulateLaunch(trace.NewSynthetic(l),
+			func(tb int) float64 { return l.Params[tb].ActiveFrac })
+		for tb := range analytic.Blocks {
+			a, e := analytic.Blocks[tb], emulated.Blocks[tb]
+			if a.WarpInsts != e.WarpInsts {
+				t.Errorf("af=%v tb %d: warp insts analytic %d emulated %d", af, tb, a.WarpInsts, e.WarpInsts)
+			}
+			if a.ThreadInsts != e.ThreadInsts {
+				t.Errorf("af=%v tb %d: thread insts analytic %d emulated %d", af, tb, a.ThreadInsts, e.ThreadInsts)
+			}
+		}
+		// Memory requests agree at af=1; at af<1 the analytic path scales
+		// statically and the emulated path scales per event — both use
+		// isa.RequestsPerAccess so they agree exactly.
+		if analytic.TotalMemRequests() != emulated.TotalMemRequests() {
+			t.Errorf("af=%v: mem requests analytic %d emulated %d",
+				af, analytic.TotalMemRequests(), emulated.TotalMemRequests())
+		}
+		// Block counts agree on the shared prefix.
+		for bi := range emulated.BlockCounts {
+			if analytic.BlockCounts[bi] != emulated.BlockCounts[bi] {
+				t.Errorf("af=%v block %d: counts analytic %d emulated %d",
+					af, bi, analytic.BlockCounts[bi], emulated.BlockCounts[bi])
+			}
+		}
+	}
+}
+
+func TestTBSizesAndCoV(t *testing.T) {
+	l := buildLaunch(8, 1.0)
+	lp := ProfileLaunch(l)
+	sizes := lp.TBSizes()
+	if len(sizes) != 8 {
+		t.Fatalf("TBSizes len = %d", len(sizes))
+	}
+	if lp.TBSizeCoV() <= 0 {
+		t.Error("CoV should be positive for varying trip counts")
+	}
+	// Uniform launch has zero CoV.
+	params := make([]kernel.TBParams, 4)
+	for i := range params {
+		params[i] = kernel.TBParams{Trips: []int{3}, ActiveFrac: 1}
+	}
+	uniform := &kernel.Launch{Kernel: l.Kernel, Params: params}
+	if got := ProfileLaunch(uniform).TBSizeCoV(); got != 0 {
+		t.Errorf("uniform CoV = %v, want 0", got)
+	}
+}
+
+func TestProfileApp(t *testing.T) {
+	app := &kernel.App{Name: "a", Launches: []*kernel.Launch{
+		buildLaunch(3, 1), buildLaunch(5, 1),
+	}}
+	profs := ProfileApp(app)
+	if len(profs) != 2 {
+		t.Fatalf("got %d profiles", len(profs))
+	}
+	if profs[0].NumBlocks() != 3 || profs[1].NumBlocks() != 5 {
+		t.Error("profile shapes wrong")
+	}
+}
+
+// Property: profiling is hardware independent — the profile depends only on
+// the launch, and equal launches give equal profiles (pure function).
+func TestProfileDeterministicProperty(t *testing.T) {
+	f := func(n uint8, afRaw uint8) bool {
+		nb := 1 + int(n%8)
+		af := 0.25 + float64(afRaw%4)*0.25
+		l := buildLaunch(nb, af)
+		a := ProfileLaunch(l)
+		b := ProfileLaunch(l)
+		for tb := range a.Blocks {
+			if a.Blocks[tb] != b.Blocks[tb] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: stall probability is within [0, maximum requests per inst].
+func TestStallProbBoundsProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		l := buildLaunch(1+int(n%6), 1)
+		lp := ProfileLaunch(l)
+		for tb := range lp.Blocks {
+			p := lp.Blocks[tb].StallProb()
+			if p < 0 || p > 32 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

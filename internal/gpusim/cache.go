@@ -1,0 +1,78 @@
+package gpusim
+
+// cache is a set-associative, LRU, tag-only cache model. It tracks hits and
+// misses; data is never stored (timing simulation only needs residency).
+// Both loads and stores allocate (write-allocate, no write-back traffic
+// modelling), which is the usual first-order model for GPU L1/L2.
+type cache struct {
+	sets    int
+	ways    int
+	lineB   uint64
+	tags    []uint64 // sets*ways entries; 0 means empty (tag 0 is offset by +1)
+	lastUse []int64  // LRU timestamps
+	dirty   []bool   // per way: written since fill
+
+	Hits, Misses int64
+	Writebacks   int64
+}
+
+func newCache(cfg CacheConfig) *cache {
+	sets := cfg.Sets()
+	c := &cache{
+		sets:    sets,
+		ways:    cfg.Ways,
+		lineB:   uint64(cfg.LineB),
+		tags:    make([]uint64, sets*cfg.Ways),
+		lastUse: make([]int64, sets*cfg.Ways),
+		dirty:   make([]bool, sets*cfg.Ways),
+	}
+	for i := range c.lastUse {
+		c.lastUse[i] = -1 // empty ways are preferred victims
+	}
+	return c
+}
+
+// access looks up addr at the given cycle, allocating on miss. isStore
+// marks the line dirty. It reports whether the access hit and, when the
+// fill evicted a dirty line, the evicted line's address (writeback != 0).
+func (c *cache) access(addr uint64, cycle int64, isStore bool) (hit bool, writeback uint64) {
+	line := addr / c.lineB
+	set := int(line % uint64(c.sets))
+	tag := line + 1 // +1 so that tag 0 is never confused with an empty way
+	base := set * c.ways
+
+	victim, victimUse := base, c.lastUse[base]
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.tags[i] == tag {
+			c.lastUse[i] = cycle
+			if isStore {
+				c.dirty[i] = true
+			}
+			c.Hits++
+			return true, 0
+		}
+		if c.lastUse[i] < victimUse {
+			victim, victimUse = i, c.lastUse[i]
+		}
+	}
+	c.Misses++
+	if c.dirty[victim] && c.tags[victim] != 0 {
+		c.Writebacks++
+		writeback = (c.tags[victim] - 1) * c.lineB
+	}
+	c.tags[victim] = tag
+	c.lastUse[victim] = cycle
+	c.dirty[victim] = isStore
+	return false, writeback
+}
+
+// reset clears contents and statistics.
+func (c *cache) reset() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.lastUse[i] = -1
+		c.dirty[i] = false
+	}
+	c.Hits, c.Misses, c.Writebacks = 0, 0, 0
+}

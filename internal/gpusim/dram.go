@@ -1,0 +1,61 @@
+package gpusim
+
+// dram models a banked, multi-channel DRAM with an open-row policy. Each
+// bank tracks when it next becomes free and which row its buffer holds; an
+// access queues behind the bank's previous work (FR-FCFS-like: consecutive
+// same-row accesses pay the short row-hit service time). The queueing makes
+// the observed stall latency a random variable — exactly the "variable
+// memory latencies due to resource contention and/or queuing delay" that
+// motivate the paper's Markov model.
+type dram struct {
+	cfg      DRAMConfig
+	nextFree []int64  // per (channel, bank): cycle the bank is free
+	openRow  []uint64 // per (channel, bank): open row + 1 (0 = closed)
+
+	Accesses int64
+	RowHits  int64
+}
+
+func newDRAM(cfg DRAMConfig) *dram {
+	n := cfg.Channels * cfg.Banks
+	return &dram{
+		cfg:      cfg,
+		nextFree: make([]int64, n),
+		openRow:  make([]uint64, n),
+	}
+}
+
+// access issues a request for addr arriving at the controller at cycle
+// `arrive` and returns the cycle the data is back at L2.
+func (d *dram) access(addr uint64, arrive int64) int64 {
+	d.Accesses++
+	row := addr >> uint(d.cfg.RowBits)
+	// Interleave channels and banks on row-ish granularity so streams
+	// spread across banks while same-row locality is preserved.
+	ch := int(row % uint64(d.cfg.Channels))
+	bank := int((row / uint64(d.cfg.Channels)) % uint64(d.cfg.Banks))
+	b := ch*d.cfg.Banks + bank
+
+	service := int64(d.cfg.RowMissLat)
+	if d.openRow[b] == row+1 {
+		service = int64(d.cfg.RowHitLat)
+		d.RowHits++
+	}
+	start := arrive
+	if d.nextFree[b] > start {
+		start = d.nextFree[b] // queueing delay
+	}
+	done := start + service
+	d.nextFree[b] = done
+	d.openRow[b] = row + 1
+	return done + int64(d.cfg.BaseLat)
+}
+
+// reset clears bank state and statistics.
+func (d *dram) reset() {
+	for i := range d.nextFree {
+		d.nextFree[i] = 0
+		d.openRow[i] = 0
+	}
+	d.Accesses, d.RowHits = 0, 0
+}

@@ -1,0 +1,12 @@
+package gpusim
+
+import (
+	"tbpoint/internal/kernel"
+	"tbpoint/internal/trace"
+)
+
+// recordOf materialises a launch's synthetic trace, used to check that
+// recorded and synthetic providers simulate identically.
+func recordOf(l *kernel.Launch) trace.Provider {
+	return trace.Record(trace.NewSynthetic(l))
+}

@@ -1,0 +1,111 @@
+package gpusim
+
+import "tbpoint/internal/isa"
+
+// memSystem glues per-SM L1 caches, the shared L2 and DRAM into one access
+// path. All latencies are absolute completion cycles so the SM scheduler
+// can simply sleep the issuing warp until the returned cycle.
+//
+// Two second-order mechanisms are modelled beyond the raw hierarchy:
+//
+//   - MSHR merging: a request to a line that already has an outstanding
+//     miss completes when the outstanding fill returns instead of paying a
+//     fresh round trip (one MSHR file per SM);
+//   - write-back traffic: evicting a dirty line issues a DRAM write that
+//     occupies the bank and adds queueing pressure for subsequent reads.
+type memSystem struct {
+	cfg   Config
+	l1    []*cache
+	l2    *cache
+	dram  *dram
+	mshrs []map[uint64]int64 // per SM: line -> fill completion cycle
+
+	MSHRMerges int64
+}
+
+func newMemSystem(cfg Config) *memSystem {
+	m := &memSystem{cfg: cfg, l2: newCache(cfg.L2), dram: newDRAM(cfg.DRAM)}
+	m.l1 = make([]*cache, cfg.NumSMs)
+	m.mshrs = make([]map[uint64]int64, cfg.NumSMs)
+	for i := range m.l1 {
+		m.l1[i] = newCache(cfg.L1)
+		m.mshrs[i] = make(map[uint64]int64)
+	}
+	return m
+}
+
+// access performs one memory request from SM sm at the given cycle and
+// returns the completion cycle.
+func (m *memSystem) access(sm int, addr uint64, cycle int64, op isa.Opcode) int64 {
+	isStore := op == isa.OpSTG
+	line := addr / uint64(m.cfg.L1.LineB)
+
+	// Outstanding miss to the same line? Merge into its MSHR.
+	if ready, ok := m.mshrs[sm][line]; ok {
+		if ready > cycle {
+			// The original fill has already allocated the line in the L1;
+			// the merged request just waits for the same fill.
+			m.MSHRMerges++
+			return ready
+		}
+		delete(m.mshrs[sm], line)
+	}
+
+	hit, wb1 := m.l1[sm].access(addr, cycle, isStore)
+	if wb1 != 0 {
+		m.writeback(sm, wb1, cycle)
+	}
+	if hit {
+		return cycle + int64(m.cfg.L1.HitLat)
+	}
+	hit2, wb2 := m.l2.access(addr, cycle, isStore)
+	if wb2 != 0 {
+		m.dram.access(wb2, cycle+int64(m.cfg.L2.HitLat))
+	}
+	var done int64
+	if hit2 {
+		done = cycle + int64(m.cfg.L1.HitLat+m.cfg.L2.HitLat)
+	} else {
+		done = m.dram.access(addr, cycle+int64(m.cfg.L2.HitLat))
+	}
+	m.mshrs[sm][line] = done
+	if len(m.mshrs[sm]) > 4096 {
+		m.pruneMSHRs(sm, cycle)
+	}
+	return done
+}
+
+// writeback pushes a dirty L1 eviction down to L2 (and DRAM if the L2
+// eviction cascades). The evicting access does not wait for it; the cost
+// is the bank occupancy it causes.
+func (m *memSystem) writeback(sm int, addr uint64, cycle int64) {
+	_, wb := m.l2.access(addr, cycle, true)
+	if wb != 0 {
+		m.dram.access(wb, cycle+int64(m.cfg.L2.HitLat))
+	}
+}
+
+// pruneMSHRs drops completed entries; called rarely.
+func (m *memSystem) pruneMSHRs(sm int, cycle int64) {
+	for line, ready := range m.mshrs[sm] {
+		if ready <= cycle {
+			delete(m.mshrs[sm], line)
+		}
+	}
+}
+
+func (m *memSystem) l1Stats() (hits, misses int64) {
+	for _, c := range m.l1 {
+		hits += c.Hits
+		misses += c.Misses
+	}
+	return
+}
+
+func (m *memSystem) writebacks() int64 {
+	var n int64
+	for _, c := range m.l1 {
+		n += c.Writebacks
+	}
+	return n + m.l2.Writebacks
+}

@@ -1,0 +1,129 @@
+package gpusim
+
+// SMStat is the per-SM outcome of a launch simulation.
+type SMStat struct {
+	// WarpInsts is the number of warp instructions the SM issued.
+	WarpInsts int64
+	// Cycles is the SM's active-cycle count: the cycle of its last issue
+	// (the per-core cycle count Macsim would report).
+	Cycles int64
+}
+
+// UnitStats is one "specified thread block" sampling unit (§IV-B2): the
+// interval between the start and end of the designated thread block,
+// measured over the whole GPU.
+type UnitStats struct {
+	Index       int
+	SpecifiedTB int
+	StartCycle  int64
+	EndCycle    int64
+	// WarpInsts is the number of warp instructions issued GPU-wide during
+	// the unit.
+	WarpInsts int64
+}
+
+// IPC returns the unit's GPU-wide IPC.
+func (u UnitStats) IPC() float64 {
+	c := u.EndCycle - u.StartCycle
+	if c <= 0 {
+		return 0
+	}
+	return float64(u.WarpInsts) / float64(c)
+}
+
+// FixedUnit is one fixed-size sampling unit (a fixed number of warp
+// instructions), the unit the Random and Ideal-Simpoint baselines use
+// (§V-A, "sampling units with one million instructions"). When BBV
+// collection is enabled, BBV holds the per-basic-block executed-instruction
+// counts of the unit.
+type FixedUnit struct {
+	Index     int
+	WarpInsts int64
+	Cycles    int64
+	BBV       []int64
+}
+
+// IPC returns the unit's GPU-wide IPC.
+func (f FixedUnit) IPC() float64 {
+	if f.Cycles <= 0 {
+		return 0
+	}
+	return float64(f.WarpInsts) / float64(f.Cycles)
+}
+
+// LaunchResult is the outcome of simulating (possibly a sampled subset of)
+// one kernel launch.
+type LaunchResult struct {
+	// Cycles is the launch duration (dispatch of the first block to
+	// retirement of the last simulated block).
+	Cycles int64
+	// SMs holds per-SM statistics.
+	SMs []SMStat
+	// Units are the specified-thread-block sampling units, in order.
+	Units []UnitStats
+	// FixedUnits are the fixed-size units (empty unless requested).
+	FixedUnits []FixedUnit
+
+	SimulatedTBs int
+	SkippedTBs   int
+	// SimulatedWarpInsts counts instructions actually simulated; skipped
+	// thread blocks contribute nothing here.
+	SimulatedWarpInsts int64
+
+	// Memory system statistics.
+	L1Hits, L1Misses int64
+	L2Hits, L2Misses int64
+	DRAMAccesses     int64
+	DRAMRowHits      int64
+	Writebacks       int64
+	MSHRMerges       int64
+}
+
+// OverallIPC is the Fig. 9 metric: the sum over SMs of each SM's
+// instructions divided by its cycles. SMs that issued nothing contribute
+// zero.
+func (r *LaunchResult) OverallIPC() float64 {
+	var total float64
+	for _, s := range r.SMs {
+		if s.Cycles > 0 {
+			total += float64(s.WarpInsts) / float64(s.Cycles)
+		}
+	}
+	return total
+}
+
+// TotalIPC is the whole-GPU IPC: instructions issued per elapsed cycle.
+func (r *LaunchResult) TotalIPC() float64 {
+	if r.Cycles <= 0 {
+		return 0
+	}
+	return float64(r.SimulatedWarpInsts) / float64(r.Cycles)
+}
+
+// Hooks let sampling layers observe and steer a simulation. All fields are
+// optional.
+type Hooks struct {
+	// SkipTB is consulted when thread block tb is about to be dispatched;
+	// returning true fast-forwards it (the block retires instantly and is
+	// never simulated).
+	SkipTB func(tb int) bool
+	// OnTBDispatch fires when a (non-skipped) block starts on an SM.
+	OnTBDispatch func(tb, sm int, cycle int64)
+	// OnTBSkip fires when a block is fast-forwarded past.
+	OnTBSkip func(tb int, cycle int64)
+	// OnTBRetire fires when a simulated block finishes.
+	OnTBRetire func(tb, sm int, cycle int64)
+	// OnUnitClose fires when a specified-thread-block sampling unit closes.
+	OnUnitClose func(u UnitStats)
+}
+
+// RunOptions configure one launch simulation.
+type RunOptions struct {
+	Hooks *Hooks
+	// FixedUnitInsts, when positive, closes a FixedUnit every that many
+	// warp instructions.
+	FixedUnitInsts int64
+	// CollectBBV records per-basic-block instruction counts for each fixed
+	// unit (requires FixedUnitInsts > 0).
+	CollectBBV bool
+}

@@ -1,0 +1,481 @@
+package gpusim
+
+import (
+	"fmt"
+	"math"
+
+	"tbpoint/internal/isa"
+	"tbpoint/internal/kernel"
+	"tbpoint/internal/trace"
+)
+
+// Simulator runs cycle-level launch simulations under one configuration.
+// A Simulator holds no mutable state: caches and DRAM state are created per
+// RunLaunch call (matching a trace-driven simulator restarted per kernel
+// launch), so concurrent RunLaunch calls from multiple goroutines are safe
+// as long as they do not share Hooks.
+type Simulator struct {
+	cfg Config
+}
+
+// New returns a simulator for the given configuration.
+func New(cfg Config) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Simulator{cfg: cfg}, nil
+}
+
+// MustNew is New for known-good configurations; it panics on error.
+func MustNew(cfg Config) *Simulator {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Config returns the simulator's configuration.
+func (s *Simulator) Config() Config { return s.cfg }
+
+type warpState struct {
+	stream trace.Stream
+	done   bool
+}
+
+type tbState struct {
+	id    int
+	sm    int
+	warps []warpState
+	live  int // warps not yet exited
+
+	barArrived int
+	barWaiting []int // warp indices parked at the barrier
+}
+
+type warpRef struct {
+	tb *tbState
+	w  int
+}
+
+type wakeEntry struct {
+	cycle int64
+	ref   warpRef
+}
+
+// wakeHeap is a binary min-heap on wake cycle.
+type wakeHeap []wakeEntry
+
+func (h *wakeHeap) push(e wakeEntry) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if (*h)[p].cycle <= (*h)[i].cycle {
+			break
+		}
+		(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
+		i = p
+	}
+}
+
+func (h *wakeHeap) peek() (int64, bool) {
+	if len(*h) == 0 {
+		return 0, false
+	}
+	return (*h)[0].cycle, true
+}
+
+func (h *wakeHeap) pop() wakeEntry {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && old[l].cycle < old[m].cycle {
+			m = l
+		}
+		if r < n && old[r].cycle < old[m].cycle {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		old[i], old[m] = old[m], old[i]
+		i = m
+	}
+	return top
+}
+
+type smState struct {
+	id        int
+	ready     []warpRef
+	readyHead int
+	wakes     wakeHeap
+	resident  int
+	warpInsts int64
+	lastCycle int64
+}
+
+func (sm *smState) pushReady(r warpRef) { sm.ready = append(sm.ready, r) }
+
+func (sm *smState) popReady() (warpRef, bool) {
+	if sm.readyHead >= len(sm.ready) {
+		return warpRef{}, false
+	}
+	r := sm.ready[sm.readyHead]
+	sm.readyHead++
+	if sm.readyHead > 1024 && sm.readyHead*2 > len(sm.ready) {
+		sm.ready = append(sm.ready[:0], sm.ready[sm.readyHead:]...)
+		sm.readyHead = 0
+	}
+	return r, true
+}
+
+func (sm *smState) hasReady() bool { return sm.readyHead < len(sm.ready) }
+
+func (sm *smState) drainWakes(cycle int64) {
+	for {
+		c, ok := sm.wakes.peek()
+		if !ok || c > cycle {
+			return
+		}
+		sm.pushReady(sm.wakes.pop().ref)
+	}
+}
+
+// runState bundles the mutable state of one launch simulation.
+type runState struct {
+	sim   *Simulator
+	prov  trace.Provider
+	opts  RunOptions
+	mem   *memSystem
+	sms   []*smState
+	res   *LaunchResult
+	occ   int // blocks per SM
+	wpb   int
+	cycle int64
+
+	nextTB  int
+	totalTB int
+	liveTBs int
+
+	totalIssued  int64
+	lastDispatch int64 // cycle the most recent block's warps became ready
+
+	// Specified-thread-block sampling units.
+	specified      *tbState
+	pendingSpecify bool
+	unitStart      int64
+	unitStartInsts int64
+
+	// Fixed-size sampling units.
+	fixedStartInsts int64
+	fixedStartCycle int64
+	bbv             []int64
+
+	addrs [trace.MaxRequests]uint64
+}
+
+// RunLaunch simulates launch l. If opts/Hooks request skipping, skipped
+// blocks retire instantly without being simulated. A custom trace provider
+// can be supplied with RunLaunchProvider; RunLaunch uses the launch's lazy
+// synthetic trace.
+func (s *Simulator) RunLaunch(l *kernel.Launch, opts RunOptions) *LaunchResult {
+	return s.RunLaunchProvider(l, trace.NewSynthetic(l), opts)
+}
+
+// RunLaunchProvider simulates launch l reading instructions from prov.
+// The launch supplies only occupancy-relevant resource demands; the
+// instruction stream comes entirely from prov.
+func (s *Simulator) RunLaunchProvider(l *kernel.Launch, prov trace.Provider, opts RunOptions) *LaunchResult {
+	rs := &runState{
+		sim:            s,
+		prov:           prov,
+		opts:           opts,
+		mem:            newMemSystem(s.cfg),
+		res:            &LaunchResult{SMs: make([]SMStat, s.cfg.NumSMs)},
+		occ:            s.cfg.Limits.BlocksPerSM(l.Kernel),
+		wpb:            prov.WarpsPerBlock(),
+		totalTB:        prov.NumBlocks(),
+		pendingSpecify: true,
+	}
+	rs.sms = make([]*smState, s.cfg.NumSMs)
+	for i := range rs.sms {
+		rs.sms[i] = &smState{id: i}
+	}
+	rs.run()
+	return rs.res
+}
+
+func (rs *runState) hooks() *Hooks {
+	if rs.opts.Hooks != nil {
+		return rs.opts.Hooks
+	}
+	return &Hooks{}
+}
+
+func (rs *runState) run() {
+	// Initial greedy fill: round-robin one block per SM until every SM is
+	// at occupancy or blocks run out.
+	for round := 0; round < rs.occ; round++ {
+		for _, sm := range rs.sms {
+			if sm.resident < rs.occ {
+				rs.dispatchOne(sm)
+			}
+		}
+	}
+
+	for rs.liveTBs > 0 {
+		issued := false
+		for _, sm := range rs.sms {
+			sm.drainWakes(rs.cycle)
+			if ref, ok := sm.popReady(); ok {
+				rs.issue(sm, ref)
+				issued = true
+			}
+		}
+		if issued {
+			rs.cycle++
+			continue
+		}
+		// Nothing ready anywhere: jump to the earliest wake.
+		next := int64(math.MaxInt64)
+		for _, sm := range rs.sms {
+			if c, ok := sm.wakes.peek(); ok && c < next {
+				next = c
+			}
+		}
+		if next == math.MaxInt64 {
+			panic(fmt.Sprintf("gpusim: deadlock with %d live thread blocks at cycle %d",
+				rs.liveTBs, rs.cycle))
+		}
+		rs.cycle = next
+	}
+
+	// Close the trailing fixed unit, if any.
+	if rs.opts.FixedUnitInsts > 0 && rs.totalIssued > rs.fixedStartInsts {
+		rs.closeFixedUnit()
+	}
+
+	res := rs.res
+	res.Cycles = rs.cycle
+	for i, sm := range rs.sms {
+		res.SMs[i] = SMStat{WarpInsts: sm.warpInsts, Cycles: sm.lastCycle}
+	}
+	res.SimulatedWarpInsts = rs.totalIssued
+	res.L1Hits, res.L1Misses = rs.mem.l1Stats()
+	res.L2Hits, res.L2Misses = rs.mem.l2.Hits, rs.mem.l2.Misses
+	res.DRAMAccesses, res.DRAMRowHits = rs.mem.dram.Accesses, rs.mem.dram.RowHits
+	res.Writebacks = rs.mem.writebacks()
+	res.MSHRMerges = rs.mem.MSHRMerges
+}
+
+// dispatchOne hands the next pending thread block (skipping as directed by
+// hooks) to sm. It returns false when no blocks remain.
+func (rs *runState) dispatchOne(sm *smState) bool {
+	h := rs.hooks()
+	for rs.nextTB < rs.totalTB {
+		tb := rs.nextTB
+		if h.SkipTB != nil && h.SkipTB(tb) {
+			rs.nextTB++
+			rs.res.SkippedTBs++
+			if h.OnTBSkip != nil {
+				h.OnTBSkip(tb, rs.cycle)
+			}
+			continue
+		}
+		rs.nextTB++
+		st := &tbState{id: tb, sm: sm.id, live: rs.wpb}
+		st.warps = make([]warpState, rs.wpb)
+		// The global scheduler dispatches at a bounded rate; stagger block
+		// start times accordingly.
+		readyAt := rs.cycle
+		if min := rs.lastDispatch + int64(rs.sim.cfg.DispatchInterval); min > readyAt {
+			readyAt = min
+		}
+		rs.lastDispatch = readyAt
+		for w := 0; w < rs.wpb; w++ {
+			st.warps[w] = warpState{stream: rs.prov.WarpStream(tb, w)}
+			// Deterministic start jitter decorrelates execution phases.
+			// Blocks of the initial fill get a large jitter (they would
+			// otherwise run in lockstep cohorts that take many occupancy
+			// generations to drift apart, distorting early sampling
+			// units); steady-state dispatches get a small per-warp jitter
+			// only.
+			jitter := int64(0)
+			if rs.sim.cfg.DispatchInterval > 0 {
+				h := uint64(tb)*0x9e3779b97f4a7c15 + uint64(w)*0xbf58476d1ce4e5b9
+				h ^= h >> 29
+				span := uint64(rs.sim.cfg.DispatchInterval) * 16
+				if rs.cycle == 0 {
+					span = uint64(rs.sim.cfg.DispatchInterval) * 256
+				}
+				jitter = int64(h % span)
+			}
+			rs.wake(warpRef{tb: st, w: w}, readyAt+jitter)
+		}
+		sm.resident++
+		rs.liveTBs++
+		if h.OnTBDispatch != nil {
+			h.OnTBDispatch(tb, sm.id, rs.cycle)
+		}
+		if rs.pendingSpecify {
+			rs.specified = st
+			rs.pendingSpecify = false
+		}
+		return true
+	}
+	return false
+}
+
+func (rs *runState) wake(ref warpRef, at int64) {
+	sm := rs.sms[ref.tb.sm]
+	if at <= rs.cycle {
+		sm.pushReady(ref)
+		return
+	}
+	sm.wakes.push(wakeEntry{cycle: at, ref: ref})
+}
+
+func (rs *runState) issue(sm *smState, ref warpRef) {
+	w := &ref.tb.warps[ref.w]
+	ev, ok := w.stream.Next(rs.addrs[:])
+	if !ok {
+		// Streams end exactly at EXIT; a bare end is treated as an exit to
+		// stay robust against hand-built traces.
+		rs.finishWarp(ref)
+		return
+	}
+	sm.warpInsts++
+	sm.lastCycle = rs.cycle + 1
+	rs.totalIssued++
+
+	if rs.opts.FixedUnitInsts > 0 {
+		if rs.opts.CollectBBV {
+			for int(ev.Block) >= len(rs.bbv) {
+				rs.bbv = append(rs.bbv, 0)
+			}
+			rs.bbv[ev.Block]++
+		}
+		if rs.totalIssued-rs.fixedStartInsts >= rs.opts.FixedUnitInsts {
+			rs.closeFixedUnit()
+		}
+	}
+
+	switch ev.Op {
+	case isa.OpEXIT:
+		rs.finishWarp(ref)
+	case isa.OpBAR:
+		tb := ref.tb
+		tb.barArrived++
+		if tb.barArrived >= tb.live {
+			rs.releaseBarrier(tb)
+			rs.wake(ref, rs.cycle+int64(rs.sim.cfg.Lat.BAR))
+		} else {
+			tb.barWaiting = append(tb.barWaiting, ref.w)
+		}
+	case isa.OpLDG, isa.OpSTG:
+		// The SM's load/store port injects one request per cycle, so a
+		// divergent instruction's requests arrive serialised — memory
+		// divergence costs at least one cycle per request even when every
+		// request hits (the Eq. 2 "memory divergence" effect).
+		done := rs.cycle + 1
+		for i := 0; i < int(ev.NumReq); i++ {
+			arrive := rs.cycle + int64(i)
+			if c := rs.mem.access(sm.id, rs.addrs[i], arrive, ev.Op); c > done {
+				done = c
+			}
+		}
+		rs.wake(ref, done)
+	default:
+		lat := int64(rs.sim.cfg.Lat.Of(ev.Op))
+		if lat < 1 {
+			lat = 1
+		}
+		rs.wake(ref, rs.cycle+lat)
+	}
+}
+
+func (rs *runState) releaseBarrier(tb *tbState) {
+	lat := int64(rs.sim.cfg.Lat.BAR)
+	for _, wi := range tb.barWaiting {
+		rs.wake(warpRef{tb: tb, w: wi}, rs.cycle+lat)
+	}
+	tb.barWaiting = tb.barWaiting[:0]
+	tb.barArrived = 0
+}
+
+func (rs *runState) finishWarp(ref warpRef) {
+	w := &ref.tb.warps[ref.w]
+	if w.done {
+		return
+	}
+	w.done = true
+	tb := ref.tb
+	tb.live--
+	// Warps parked at a barrier can be released by the last non-parked warp
+	// exiting (degenerate kernels only; well-formed kernels barrier before
+	// exiting).
+	if tb.live > 0 && len(tb.barWaiting) > 0 && tb.barArrived >= tb.live {
+		rs.releaseBarrier(tb)
+	}
+	if tb.live == 0 {
+		rs.retireTB(tb)
+	}
+}
+
+func (rs *runState) retireTB(tb *tbState) {
+	h := rs.hooks()
+	sm := rs.sms[tb.sm]
+	sm.resident--
+	rs.liveTBs--
+	rs.res.SimulatedTBs++
+	retireCycle := rs.cycle + 1
+	if h.OnTBRetire != nil {
+		h.OnTBRetire(tb.id, tb.sm, retireCycle)
+	}
+	if rs.specified == tb {
+		rs.closeUnit(retireCycle, tb.id)
+	}
+	rs.dispatchOne(sm)
+}
+
+func (rs *runState) closeUnit(cycle int64, tbID int) {
+	u := UnitStats{
+		Index:       len(rs.res.Units),
+		SpecifiedTB: tbID,
+		StartCycle:  rs.unitStart,
+		EndCycle:    cycle,
+		WarpInsts:   rs.totalIssued - rs.unitStartInsts,
+	}
+	rs.res.Units = append(rs.res.Units, u)
+	if h := rs.hooks(); h.OnUnitClose != nil {
+		h.OnUnitClose(u)
+	}
+	rs.unitStart = cycle
+	rs.unitStartInsts = rs.totalIssued
+	rs.specified = nil
+	rs.pendingSpecify = true
+}
+
+func (rs *runState) closeFixedUnit() {
+	f := FixedUnit{
+		Index:     len(rs.res.FixedUnits),
+		WarpInsts: rs.totalIssued - rs.fixedStartInsts,
+		Cycles:    rs.cycle + 1 - rs.fixedStartCycle,
+	}
+	if rs.opts.CollectBBV {
+		f.BBV = append([]int64(nil), rs.bbv...)
+		for i := range rs.bbv {
+			rs.bbv[i] = 0
+		}
+	}
+	rs.res.FixedUnits = append(rs.res.FixedUnits, f)
+	rs.fixedStartInsts = rs.totalIssued
+	rs.fixedStartCycle = rs.cycle + 1
+}

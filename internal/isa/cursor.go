@@ -1,0 +1,95 @@
+package isa
+
+// DynInstr is one dynamic (executed) warp instruction yielded by a Cursor.
+type DynInstr struct {
+	Instr
+	// Block is the index of the basic block the instruction belongs to,
+	// used for basic-block-vector instrumentation.
+	Block int
+	// Iter is the loop iteration the instruction executes in (0 for
+	// instructions outside any loop), used by address generation to
+	// advance strided streams.
+	Iter int
+}
+
+// Cursor walks the dynamic instruction stream of one warp executing a
+// program with fixed loop trip counts. It holds no per-instruction
+// allocations, so large launches can be expanded lazily.
+type Cursor struct {
+	p     *Program
+	trips []int64 // effective per-block trip counts
+
+	block int // current block index
+	instr int // next instruction index within block
+	iter  int // current iteration of the enclosing loop (0-based)
+
+	loopOf  []int // block index -> loop index or -1
+	done    bool
+	started bool
+}
+
+// NewCursor returns a cursor at the first instruction. The program must be
+// valid (see Program.Validate); behaviour is undefined otherwise.
+func NewCursor(p *Program, trips []int) *Cursor {
+	c := &Cursor{p: p, trips: p.blockTrips(trips)}
+	c.loopOf = make([]int, len(p.Blocks))
+	for i := range c.loopOf {
+		c.loopOf[i] = -1
+	}
+	for li, l := range p.Loops {
+		for b := l.Begin; b < l.End; b++ {
+			c.loopOf[b] = li
+		}
+	}
+	c.skipDeadBlocks()
+	return c
+}
+
+// skipDeadBlocks advances past blocks whose trip count is zero.
+func (c *Cursor) skipDeadBlocks() {
+	for c.block < len(c.p.Blocks) && c.trips[c.block] == 0 {
+		// Zero-trip loop: skip the whole body.
+		if li := c.loopOf[c.block]; li >= 0 {
+			c.block = c.p.Loops[li].End
+		} else {
+			c.block++
+		}
+		c.iter = 0
+	}
+	if c.block >= len(c.p.Blocks) {
+		c.done = true
+	}
+}
+
+// Next yields the next dynamic instruction. It returns ok == false once the
+// stream is exhausted (after the EXIT instruction).
+func (c *Cursor) Next() (d DynInstr, ok bool) {
+	if c.done {
+		return DynInstr{}, false
+	}
+	b := &c.p.Blocks[c.block]
+	d = DynInstr{Instr: b.Instrs[c.instr], Block: c.block, Iter: c.iter}
+	c.advance()
+	return d, true
+}
+
+func (c *Cursor) advance() {
+	b := &c.p.Blocks[c.block]
+	c.instr++
+	if c.instr < len(b.Instrs) {
+		return
+	}
+	c.instr = 0
+	li := c.loopOf[c.block]
+	if li >= 0 && c.block == c.p.Loops[li].End-1 {
+		// End of a loop body: either iterate or fall through.
+		if int64(c.iter+1) < c.trips[c.block] {
+			c.iter++
+			c.block = c.p.Loops[li].Begin
+			return
+		}
+		c.iter = 0
+	}
+	c.block++
+	c.skipDeadBlocks()
+}

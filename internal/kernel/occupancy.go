@@ -1,0 +1,82 @@
+package kernel
+
+import "fmt"
+
+// SMLimits are the per-SM resource limits that bound how many thread blocks
+// an SM can host concurrently. The defaults mirror the Fermi-class
+// configuration of Table V.
+type SMLimits struct {
+	// MaxThreads is the thread capacity of one SM.
+	MaxThreads int
+	// MaxWarps is the warp capacity of one SM (the "W" knob of Fig. 12/13).
+	MaxWarps int
+	// MaxBlocks is the hard cap on resident blocks per SM.
+	MaxBlocks int
+	// Registers is the register-file capacity per SM.
+	Registers int
+	// SharedMem is the shared-memory capacity per SM in bytes.
+	SharedMem int
+}
+
+// DefaultSMLimits returns Fermi-like per-SM limits (48 warps = 1536
+// threads, 8 resident blocks, 32K registers, 48KB shared memory).
+func DefaultSMLimits() SMLimits {
+	return SMLimits{
+		MaxThreads: 1536,
+		MaxWarps:   48,
+		MaxBlocks:  8,
+		Registers:  32768,
+		SharedMem:  48 << 10,
+	}
+}
+
+// BlocksPerSM returns the SM occupancy of the kernel: the number of thread
+// blocks one SM can host concurrently, limited by the scarcest resource.
+// The result is at least 1: a kernel that over-subscribes an SM still runs
+// one block at a time (matching real hardware's behaviour for maximal
+// blocks).
+func (lim SMLimits) BlocksPerSM(k *Kernel) int {
+	occ := lim.MaxBlocks
+	if occ <= 0 {
+		occ = 1
+	}
+	if k.ThreadsPerBlock > 0 {
+		if lim.MaxThreads > 0 {
+			occ = minInt(occ, lim.MaxThreads/k.ThreadsPerBlock)
+		}
+		if lim.MaxWarps > 0 {
+			occ = minInt(occ, lim.MaxWarps/k.WarpsPerBlock())
+		}
+	}
+	if k.RegsPerThread > 0 && lim.Registers > 0 {
+		occ = minInt(occ, lim.Registers/(k.RegsPerThread*k.ThreadsPerBlock))
+	}
+	if k.SharedMemPerBlock > 0 && lim.SharedMem > 0 {
+		occ = minInt(occ, lim.SharedMem/k.SharedMemPerBlock)
+	}
+	if occ < 1 {
+		occ = 1
+	}
+	return occ
+}
+
+// SystemOccupancy returns the maximum number of concurrently running thread
+// blocks across numSMs SMs — the epoch size of Eq. 4.
+func (lim SMLimits) SystemOccupancy(k *Kernel, numSMs int) int {
+	if numSMs < 1 {
+		numSMs = 1
+	}
+	return lim.BlocksPerSM(k) * numSMs
+}
+
+func (lim SMLimits) String() string {
+	return fmt.Sprintf("SMLimits{threads=%d warps=%d blocks=%d regs=%d smem=%d}",
+		lim.MaxThreads, lim.MaxWarps, lim.MaxBlocks, lim.Registers, lim.SharedMem)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,69 @@
+package stats
+
+import "sort"
+
+// CDFPoint is one point of an empirical cumulative distribution function.
+type CDFPoint struct {
+	Value    float64 // sample value
+	Fraction float64 // fraction of samples <= Value
+}
+
+// CDF returns the empirical CDF of xs as a sorted series of points, one per
+// distinct sample. It is used to render the Fig. 5 IPC-variation curves.
+func CDF(xs []float64) []CDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	out := make([]CDFPoint, 0, len(s))
+	n := float64(len(s))
+	for i := 0; i < len(s); i++ {
+		// Collapse runs of equal values into the last index of the run.
+		if i+1 < len(s) && s[i+1] == s[i] {
+			continue
+		}
+		out = append(out, CDFPoint{Value: s[i], Fraction: float64(i+1) / n})
+	}
+	return out
+}
+
+// CDFAt evaluates an empirical CDF (as returned by CDF) at value v.
+func CDFAt(cdf []CDFPoint, v float64) float64 {
+	// Binary search for the last point with Value <= v.
+	lo, hi := 0, len(cdf)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cdf[mid].Value <= v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return cdf[lo-1].Fraction
+}
+
+// Histogram bins xs into nbins equal-width bins over [min,max] and returns
+// the per-bin counts. Values outside the range are clamped into the edge
+// bins. It returns nil if nbins <= 0 or xs is empty.
+func Histogram(xs []float64, min, max float64, nbins int) []int {
+	if nbins <= 0 || len(xs) == 0 || max <= min {
+		return nil
+	}
+	counts := make([]int, nbins)
+	w := (max - min) / float64(nbins)
+	for _, x := range xs {
+		i := int((x - min) / w)
+		if i < 0 {
+			i = 0
+		}
+		if i >= nbins {
+			i = nbins - 1
+		}
+		counts[i]++
+	}
+	return counts
+}

@@ -1,0 +1,97 @@
+// Package stats provides the small numeric substrate shared by the TBPoint
+// reproduction: summary statistics, deterministic random number generation,
+// Gaussian sampling, percentiles, and histogram/CDF helpers.
+//
+// Everything in this package is deterministic given a seed, which is what
+// makes the experiment harness reproducible bit-for-bit.
+package stats
+
+import "math"
+
+// RNG is a deterministic SplitMix64 pseudo-random number generator.
+//
+// SplitMix64 passes BigCrush, is trivially seedable from any 64-bit value,
+// and has a single word of state, making it cheap to embed per thread block
+// or per warp. The zero value is a valid generator seeded with 0.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Seed resets the generator state.
+func (r *RNG) Seed(seed uint64) { r.state = seed }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn called with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform int64 in [0, n). It panics if n <= 0.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("stats: Int63n called with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	// 53 random mantissa bits.
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a standard normal variate using the Box-Muller
+// transform. Each call draws two uniforms; simplicity is preferred over
+// caching the second variate because callers fork RNGs liberally.
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u1 := r.Float64()
+		if u1 == 0 {
+			continue
+		}
+		u2 := r.Float64()
+		return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	}
+}
+
+// Gaussian returns a normal variate with the given mean and standard
+// deviation.
+func (r *RNG) Gaussian(mean, stddev float64) float64 {
+	return mean + stddev*r.NormFloat64()
+}
+
+// Perm returns a pseudo-random permutation of [0, n) (Fisher-Yates).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Fork derives an independent generator from this one. The derived stream is
+// decorrelated from the parent by an extra SplitMix64 scramble of a label.
+func (r *RNG) Fork(label uint64) *RNG {
+	s := r.Uint64() ^ (label * 0xd1342543de82ef95)
+	return NewRNG(s)
+}

@@ -1,0 +1,283 @@
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"tbpoint/internal/isa"
+)
+
+// Binary trace file format (little endian):
+//
+//	magic   [8]byte  "TBTRACE1"
+//	warps   uvarint  warps per block
+//	streams uvarint  number of streams (blocks * warps)
+//	per stream:
+//	    nevents uvarint
+//	    per event:
+//	        op      byte
+//	        block   uvarint
+//	        numreq  byte
+//	        addrs   numreq * uvarint   line-address deltas (first is
+//	                                   absolute line number, then signed
+//	                                   zig-zag deltas)
+//	crc32   uint32 (Castagnoli) of everything after the magic
+//
+// The format favours compactness for the common patterns (consecutive
+// coalesced lines encode as delta 1) over generality.
+
+var magic = [8]byte{'T', 'B', 'T', 'R', 'A', 'C', 'E', '1'}
+
+// ErrBadTrace is returned when a trace file fails structural or checksum
+// validation.
+var ErrBadTrace = errors.New("trace: malformed trace file")
+
+type crcWriter struct {
+	w   *bufio.Writer
+	crc uint32
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	cw.crc = crc32.Update(cw.crc, crc32.MakeTable(crc32.Castagnoli), p)
+	return cw.w.Write(p)
+}
+
+func (cw *crcWriter) uvarint(v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, err := cw.Write(buf[:n])
+	return err
+}
+
+// Write serialises the provider's full trace to w. Large launches are
+// streamed; nothing besides one warp's event buffer is held in memory.
+func Write(w io.Writer, p Provider) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	cw := &crcWriter{w: bw}
+	nb, wpb := p.NumBlocks(), p.WarpsPerBlock()
+	if err := cw.uvarint(uint64(wpb)); err != nil {
+		return err
+	}
+	if err := cw.uvarint(uint64(nb * wpb)); err != nil {
+		return err
+	}
+	var addrs [MaxRequests]uint64
+	// Two passes per stream would require re-expansion; instead buffer one
+	// warp's events to know the count up front. Warp streams are small
+	// (thousands of events) so this is cheap.
+	type bufEvent struct {
+		ev    Event
+		addrs []uint64
+	}
+	for tb := 0; tb < nb; tb++ {
+		for wi := 0; wi < wpb; wi++ {
+			st := p.WarpStream(tb, wi)
+			var evs []bufEvent
+			for {
+				ev, ok := st.Next(addrs[:])
+				if !ok {
+					break
+				}
+				be := bufEvent{ev: ev}
+				if ev.NumReq > 0 {
+					be.addrs = append([]uint64(nil), addrs[:ev.NumReq]...)
+				}
+				evs = append(evs, be)
+			}
+			if err := cw.uvarint(uint64(len(evs))); err != nil {
+				return err
+			}
+			for _, be := range evs {
+				if _, err := cw.Write([]byte{byte(be.ev.Op)}); err != nil {
+					return err
+				}
+				if err := cw.uvarint(uint64(be.ev.Block)); err != nil {
+					return err
+				}
+				if _, err := cw.Write([]byte{be.ev.NumReq}); err != nil {
+					return err
+				}
+				prev := uint64(0)
+				for i, a := range be.addrs {
+					line := a / LineSize
+					if i == 0 {
+						if err := cw.uvarint(line); err != nil {
+							return err
+						}
+					} else {
+						if err := cw.uvarint(zigzag(int64(line) - int64(prev))); err != nil {
+							return err
+						}
+					}
+					prev = line
+				}
+			}
+		}
+	}
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], cw.crc)
+	if _, err := bw.Write(crcBuf[:]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+type crcReader struct {
+	r   *bufio.Reader
+	crc uint32
+}
+
+func (cr *crcReader) ReadByte() (byte, error) {
+	b, err := cr.r.ReadByte()
+	if err == nil {
+		cr.crc = crc32.Update(cr.crc, crc32.MakeTable(crc32.Castagnoli), []byte{b})
+	}
+	return b, err
+}
+
+// Read decodes a trace file into a Recorded trace, verifying the checksum.
+// Gzip-compressed traces (see WriteGzip) are detected and decompressed
+// transparently.
+func Read(r io.Reader) (*Recorded, error) {
+	raw, err := maybeDecompress(bufio.NewReader(r))
+	if err != nil {
+		return nil, err
+	}
+	br := bufio.NewReader(raw)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, m[:])
+	}
+	cr := &crcReader{r: br}
+	warps, err := binary.ReadUvarint(cr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: warps: %v", ErrBadTrace, err)
+	}
+	nstreams, err := binary.ReadUvarint(cr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: streams: %v", ErrBadTrace, err)
+	}
+	if warps == 0 && nstreams > 0 {
+		return nil, fmt.Errorf("%w: zero warps with %d streams", ErrBadTrace, nstreams)
+	}
+	if warps > 0 && nstreams%warps != 0 {
+		return nil, fmt.Errorf("%w: %d streams not divisible by %d warps", ErrBadTrace, nstreams, warps)
+	}
+	const maxStreams = 1 << 28
+	if nstreams > maxStreams {
+		return nil, fmt.Errorf("%w: implausible stream count %d", ErrBadTrace, nstreams)
+	}
+	// Declared counts are untrusted until the checksum verifies: allocate
+	// proportionally to the data actually read, never to the headers (a
+	// corrupt or malicious file could otherwise demand unbounded memory).
+	const preallocCap = 4096
+	rec := &Recorded{Warps: int(warps)}
+	rec.Events = make([][]RecEvent, 0, minU64(nstreams, preallocCap))
+	for s := uint64(0); s < nstreams; s++ {
+		n, err := binary.ReadUvarint(cr)
+		if err != nil {
+			return nil, fmt.Errorf("%w: stream %d count: %v", ErrBadTrace, s, err)
+		}
+		evs := make([]RecEvent, 0, minU64(n, preallocCap))
+		for e := uint64(0); e < n; e++ {
+			op, err := cr.ReadByte()
+			if err != nil {
+				return nil, fmt.Errorf("%w: stream %d event %d: %v", ErrBadTrace, s, e, err)
+			}
+			block, err := binary.ReadUvarint(cr)
+			if err != nil {
+				return nil, fmt.Errorf("%w: block: %v", ErrBadTrace, err)
+			}
+			nreq, err := cr.ReadByte()
+			if err != nil {
+				return nil, fmt.Errorf("%w: numreq: %v", ErrBadTrace, err)
+			}
+			if nreq > MaxRequests {
+				return nil, fmt.Errorf("%w: numreq %d > %d", ErrBadTrace, nreq, MaxRequests)
+			}
+			re := RecEvent{Event: Event{Op: opFromByte(op), Block: uint16(block), NumReq: nreq}}
+			if !re.Op.Valid() {
+				return nil, fmt.Errorf("%w: invalid opcode %d", ErrBadTrace, op)
+			}
+			var prev uint64
+			for i := 0; i < int(nreq); i++ {
+				v, err := binary.ReadUvarint(cr)
+				if err != nil {
+					return nil, fmt.Errorf("%w: addr: %v", ErrBadTrace, err)
+				}
+				var line uint64
+				if i == 0 {
+					line = v
+				} else {
+					line = uint64(int64(prev) + unzigzag(v))
+				}
+				re.Addrs = append(re.Addrs, line*LineSize)
+				prev = line
+			}
+			evs = append(evs, re)
+		}
+		rec.Events = append(rec.Events, evs)
+	}
+	wantCRC := cr.crc
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(br, crcBuf[:]); err != nil {
+		return nil, fmt.Errorf("%w: checksum: %v", ErrBadTrace, err)
+	}
+	if got := binary.LittleEndian.Uint32(crcBuf[:]); got != wantCRC {
+		return nil, fmt.Errorf("%w: checksum mismatch (file %08x, computed %08x)", ErrBadTrace, got, wantCRC)
+	}
+	return rec, nil
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
+func unzigzag(v uint64) int64 { return int64(v>>1) ^ -int64(v&1) }
+
+func opFromByte(b byte) isa.Opcode { return isa.Opcode(b) }
+
+// WriteGzip writes the trace gzip-compressed. Read detects and
+// decompresses gzip streams transparently, so the two formats are
+// interchangeable on disk; recorded traces are highly repetitive and
+// typically compress 5-20x.
+func WriteGzip(w io.Writer, p Provider) error {
+	zw := gzip.NewWriter(w)
+	if err := Write(zw, p); err != nil {
+		zw.Close()
+		return err
+	}
+	return zw.Close()
+}
+
+// maybeDecompress wraps r in a gzip reader when the stream starts with the
+// gzip magic bytes.
+func maybeDecompress(r *bufio.Reader) (io.Reader, error) {
+	magic, err := r.Peek(2)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if magic[0] == 0x1f && magic[1] == 0x8b {
+		zr, err := gzip.NewReader(r)
+		if err != nil {
+			return nil, fmt.Errorf("%w: gzip: %v", ErrBadTrace, err)
+		}
+		return zr, nil
+	}
+	return r, nil
+}

@@ -1,0 +1,243 @@
+// Package trace provides the instruction-trace substrate the timing
+// simulator consumes. Macsim — the simulator the paper builds on — is
+// trace-driven; our equivalent is the Provider interface, which yields the
+// dynamic warp-instruction stream of every (thread block, warp) pair of a
+// kernel launch.
+//
+// Two implementations are provided:
+//
+//   - Synthetic expands a kernel.Launch lazily from its IR and per-block
+//     parameters, so launches with hundreds of thousands of thread blocks
+//     are never materialised in memory.
+//   - Recorded holds a fully materialised trace, either captured from any
+//     other Provider or decoded from the binary on-disk format
+//     (see file.go), and is what cmd/tracegen manipulates.
+package trace
+
+import (
+	"tbpoint/internal/isa"
+	"tbpoint/internal/kernel"
+	"tbpoint/internal/stats"
+)
+
+// LineSize is the cache-line granularity of memory requests in bytes
+// (Table V: 128B lines).
+const LineSize = 128
+
+// MaxRequests is the largest number of memory requests one warp instruction
+// can generate (fully divergent: one per lane).
+const MaxRequests = 32
+
+// Event is one dynamic warp instruction.
+type Event struct {
+	// Op is the instruction class.
+	Op isa.Opcode
+	// Block is the basic-block index the instruction belongs to (for BBV
+	// instrumentation).
+	Block uint16
+	// NumReq is the number of memory requests (memory opcodes only).
+	NumReq uint8
+}
+
+// Stream yields the dynamic instructions of one warp in order. For memory
+// instructions, Next fills addrs[:ev.NumReq] with the request line
+// addresses; addrs must have room for MaxRequests entries.
+type Stream interface {
+	Next(addrs []uint64) (ev Event, ok bool)
+}
+
+// Provider yields instruction streams for every warp of a launch.
+type Provider interface {
+	// NumBlocks returns the number of thread blocks in the launch.
+	NumBlocks() int
+	// WarpsPerBlock returns the warps per thread block.
+	WarpsPerBlock() int
+	// WarpStream returns a fresh stream over warp w of thread block tb.
+	// Streams are independent; multiple may be open concurrently.
+	WarpStream(tb, w int) Stream
+}
+
+// AddrConfig controls synthetic address generation.
+type AddrConfig struct {
+	// TBFootprintB is the bytes of each region's address space devoted to
+	// one thread block's strided streams; distinct blocks touch distinct
+	// lines (cold-miss behaviour on first touch, reuse within a block).
+	TBFootprintB uint64
+	// WarpFootprintB separates the strided streams of warps within a block.
+	WarpFootprintB uint64
+	// RandFootprintB is the footprint irregular (Random) accesses are drawn
+	// from, shared across the whole launch; larger values defeat caches
+	// more thoroughly.
+	RandFootprintB uint64
+}
+
+// DefaultAddrConfig returns the address-generation defaults used by the
+// workload models: ~256KB per block, ~8KB per warp, 64MB irregular
+// footprint. The per-block and per-warp footprints are deliberately not
+// multiples of typical cache set spans (sets x line size), so the stream
+// bases of concurrently resident blocks and warps spread across sets
+// instead of aliasing into one.
+func DefaultAddrConfig() AddrConfig {
+	return AddrConfig{
+		TBFootprintB:   256<<10 + 5*LineSize,
+		WarpFootprintB: 8<<10 + 3*LineSize,
+		RandFootprintB: 64 << 20,
+	}
+}
+
+// Synthetic lazily expands a kernel launch into warp streams.
+type Synthetic struct {
+	Launch *kernel.Launch
+	Addr   AddrConfig
+}
+
+// NewSynthetic returns a lazy provider over l with default address
+// generation.
+func NewSynthetic(l *kernel.Launch) *Synthetic {
+	return &Synthetic{Launch: l, Addr: DefaultAddrConfig()}
+}
+
+// NumBlocks implements Provider.
+func (s *Synthetic) NumBlocks() int { return s.Launch.NumBlocks() }
+
+// WarpsPerBlock implements Provider.
+func (s *Synthetic) WarpsPerBlock() int { return s.Launch.Kernel.WarpsPerBlock() }
+
+// WarpStream implements Provider.
+func (s *Synthetic) WarpStream(tb, w int) Stream {
+	p := &s.Launch.Params[tb]
+	af := p.ActiveFrac
+	if af <= 0 || af > 1 {
+		af = 1
+	}
+	return &synthStream{
+		cur:  isa.NewCursor(s.Launch.Kernel.Program, p.Trips),
+		cfg:  s.Addr,
+		tb:   uint64(tb),
+		warp: uint64(w),
+		af:   af,
+		rng:  stats.NewRNG(p.Seed ^ (uint64(w)+1)*0x9e3779b97f4a7c15),
+	}
+}
+
+type synthStream struct {
+	cur  *isa.Cursor
+	cfg  AddrConfig
+	tb   uint64
+	warp uint64
+	af   float64
+	rng  *stats.RNG
+}
+
+// regionBase gives each region a disjoint 1TB address window.
+func regionBase(region uint8) uint64 { return uint64(region) << 40 }
+
+func (st *synthStream) Next(addrs []uint64) (Event, bool) {
+	d, ok := st.cur.Next()
+	if !ok {
+		return Event{}, false
+	}
+	ev := Event{Op: d.Op, Block: uint16(d.Block)}
+	if !d.Op.IsMem() {
+		return ev, true
+	}
+	n := isa.RequestsPerAccess(d.Coalesce, st.af)
+	if n > MaxRequests {
+		n = MaxRequests
+	}
+	ev.NumReq = uint8(n)
+	if d.Random {
+		// Irregular access: uniform lines over the shared footprint.
+		lines := st.cfg.RandFootprintB / LineSize
+		if lines == 0 {
+			lines = 1
+		}
+		base := regionBase(d.Region)
+		for i := 0; i < n; i++ {
+			addrs[i] = base + (st.rng.Uint64()%lines)*LineSize
+		}
+		return ev, true
+	}
+	// Strided access: the stream position is the loop iteration, so address
+	// generation stays stateless and cheap.
+	base := regionBase(d.Region) +
+		st.tb*st.cfg.TBFootprintB +
+		st.warp*st.cfg.WarpFootprintB
+	stride := uint64(int64(d.StrideB))
+	off := uint64(d.Iter) * stride
+	for i := 0; i < n; i++ {
+		a := base + off + uint64(i)*LineSize
+		addrs[i] = a &^ (LineSize - 1)
+	}
+	return ev, true
+}
+
+// Recorded is a fully materialised trace; it implements Provider.
+type Recorded struct {
+	Warps  int // warps per block
+	Events [][]RecEvent
+	// Events is indexed by tb*Warps + w.
+}
+
+// RecEvent is a materialised event with its request addresses.
+type RecEvent struct {
+	Event
+	Addrs []uint64
+}
+
+// NumBlocks implements Provider.
+func (r *Recorded) NumBlocks() int {
+	if r.Warps == 0 {
+		return 0
+	}
+	return len(r.Events) / r.Warps
+}
+
+// WarpsPerBlock implements Provider.
+func (r *Recorded) WarpsPerBlock() int { return r.Warps }
+
+// WarpStream implements Provider.
+func (r *Recorded) WarpStream(tb, w int) Stream {
+	return &recStream{evs: r.Events[tb*r.Warps+w]}
+}
+
+type recStream struct {
+	evs []RecEvent
+	i   int
+}
+
+func (rs *recStream) Next(addrs []uint64) (Event, bool) {
+	if rs.i >= len(rs.evs) {
+		return Event{}, false
+	}
+	e := rs.evs[rs.i]
+	rs.i++
+	copy(addrs, e.Addrs)
+	return e.Event, true
+}
+
+// Record materialises any provider into a Recorded trace.
+func Record(p Provider) *Recorded {
+	nb, wpb := p.NumBlocks(), p.WarpsPerBlock()
+	r := &Recorded{Warps: wpb, Events: make([][]RecEvent, nb*wpb)}
+	var buf [MaxRequests]uint64
+	for tb := 0; tb < nb; tb++ {
+		for w := 0; w < wpb; w++ {
+			st := p.WarpStream(tb, w)
+			var evs []RecEvent
+			for {
+				ev, ok := st.Next(buf[:])
+				if !ok {
+					break
+				}
+				re := RecEvent{Event: ev}
+				if ev.NumReq > 0 {
+					re.Addrs = append([]uint64(nil), buf[:ev.NumReq]...)
+				}
+				evs = append(evs, re)
+			}
+			r.Events[tb*wpb+w] = evs
+		}
+	}
+	return r
+}

@@ -1,0 +1,168 @@
+package workloads
+
+import "tbpoint/internal/isa"
+
+// Program builders. Region conventions: region 1 = primary input structure,
+// region 2 = output, region 3 = auxiliary/gather structure.
+
+// graphProgram models a frontier-based graph kernel (bfs/sssp/mst): an
+// irregular gather over the adjacency structure per iteration, with one
+// trip parameter (trip 0) for the per-block work.
+func graphProgram(name string, gatherCoalesce uint8) *isa.Program {
+	return isa.NewBuilder(name).
+		Block(isa.IALU(), isa.Load(1, 1, 128)). // frontier index load
+		LoopBlocks(0, isa.Cat(
+			isa.Load(gatherCoalesce, 3, 0).AsIrregular(), // neighbour gather
+			isa.IALU(), isa.IALU(), isa.FALU(),
+			isa.Branch(),
+		)...).
+		EndBlock(isa.Store(2, 2, 128)).
+		Build()
+}
+
+// sparseProgram models CSR sparse matrix-vector product: a coalesced
+// streaming read of values plus an irregular gather of the x vector.
+func sparseProgram() *isa.Program {
+	return isa.NewBuilder("spmv").
+		Block(isa.IALU(), isa.Load(1, 1, 128)). // row pointer
+		LoopBlocks(0, isa.Cat(
+			isa.Load(1, 1, 128),             // values/col indices (coalesced)
+			isa.Load(8, 3, 0).AsIrregular(), // x gather (divergent)
+			isa.FALU(), isa.IALU(), isa.Branch(),
+		)...).
+		EndBlock(isa.Store(1, 2, 128)).
+		Build()
+}
+
+// streamProgram models a memory-streaming kernel (lbm): several coalesced
+// loads and stores per iteration, memory intensive.
+func streamProgram(name string) *isa.Program {
+	return isa.NewBuilder(name).
+		Block(isa.IALU()).
+		LoopBlocks(0, isa.Cat(
+			isa.Load(1, 1, 128), isa.Load(1, 1, 128), isa.Load(1, 3, 128),
+			isa.FALU(), isa.FALU(),
+			isa.Store(1, 2, 128),
+			isa.Branch(),
+		)...).
+		EndBlock().
+		Build()
+}
+
+// fluxProgram models cfd's flux computation: moderate memory with
+// substantial floating-point work.
+func fluxProgram() *isa.Program {
+	return isa.NewBuilder("cfd").
+		Block(isa.IALU(), isa.IALU()).
+		LoopBlocks(0, isa.Cat(
+			isa.Load(2, 1, 128),
+			isa.Rep(isa.FALU(), 5),
+			isa.IALU(),
+			isa.Store(1, 2, 128),
+			isa.Branch(),
+		)...).
+		EndBlock().
+		Build()
+}
+
+// distanceProgram models kmeans's distance phase: one coalesced load per
+// iteration amortised over many ALU operations.
+func distanceProgram() *isa.Program {
+	return isa.NewBuilder("kmeans").
+		Block(isa.IALU(), isa.Load(1, 1, 128)).
+		LoopBlocks(0, isa.Cat(
+			isa.Load(1, 3, 128),
+			isa.Rep(isa.FALU(), 6),
+			isa.IALU(), isa.IALU(),
+			isa.Branch(),
+		)...).
+		EndBlock(isa.Store(1, 2, 128)).
+		Build()
+}
+
+// stencilProgram models hotspot: shared-memory tile loads with a barrier,
+// then per-iteration stencil arithmetic.
+func stencilProgram() *isa.Program {
+	return isa.NewBuilder("hotspot").
+		Block(isa.Load(1, 1, 128), isa.Shared(), isa.Barrier()).
+		LoopBlocks(0, isa.Cat(
+			isa.Shared(), isa.Shared(),
+			isa.Rep(isa.FALU(), 4),
+			isa.IALU(),
+			isa.Branch(),
+		)...).
+		EndBlock(isa.Store(1, 2, 128)).
+		Build()
+}
+
+// clusterProgram models streamcluster: gathers over the point set with
+// distance arithmetic.
+func clusterProgram() *isa.Program {
+	return isa.NewBuilder("stream").
+		Block(isa.IALU()).
+		LoopBlocks(0, isa.Cat(
+			isa.Load(4, 1, 0).AsIrregular(),
+			isa.Rep(isa.FALU(), 4),
+			isa.IALU(),
+			isa.Branch(),
+		)...).
+		EndBlock(isa.Store(1, 2, 128)).
+		Build()
+}
+
+// optionProgram models BlackScholes: compute bound with special-function
+// use and perfectly coalesced streaming.
+func optionProgram() *isa.Program {
+	return isa.NewBuilder("black").
+		Block(isa.Load(1, 1, 128), isa.Load(1, 1, 128)).
+		LoopBlocks(0, isa.Cat(
+			isa.Rep(isa.FALU(), 5),
+			isa.SFU(),
+			isa.IALU(),
+			isa.Branch(),
+		)...).
+		EndBlock(isa.Store(1, 2, 128), isa.Store(1, 2, 128)).
+		Build()
+}
+
+// convRowProgram / convColProgram model convolutionSeparable's two passes;
+// the column pass's accesses coalesce worse, giving the two launch kinds
+// distinct memory divergence (two inter-launch clusters).
+func convRowProgram() *isa.Program {
+	return isa.NewBuilder("convRow").
+		Block(isa.Load(1, 1, 128), isa.Shared(), isa.Barrier()).
+		LoopBlocks(0, isa.Cat(
+			isa.Shared(),
+			isa.FALU(), isa.FALU(),
+			isa.Branch(),
+		)...).
+		EndBlock(isa.Store(1, 2, 128)).
+		Build()
+}
+
+func convColProgram() *isa.Program {
+	return isa.NewBuilder("convCol").
+		Block(isa.Load(4, 1, 2048), isa.Shared(), isa.Barrier()).
+		LoopBlocks(0, isa.Cat(
+			isa.Shared(),
+			isa.FALU(), isa.FALU(),
+			isa.Branch(),
+		)...).
+		EndBlock(isa.Store(4, 2, 2048)).
+		Build()
+}
+
+// griddingProgram models MRI gridding: data-dependent accumulation with
+// irregular scatter.
+func griddingProgram() *isa.Program {
+	return isa.NewBuilder("mri").
+		Block(isa.Load(1, 1, 128), isa.IALU()).
+		LoopBlocks(0, isa.Cat(
+			isa.Load(4, 3, 0).AsIrregular(),
+			isa.FALU(), isa.FALU(), isa.SFU(),
+			isa.Store(4, 2, 0).AsIrregular(),
+			isa.Branch(),
+		)...).
+		EndBlock().
+		Build()
+}

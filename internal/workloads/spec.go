@@ -1,0 +1,150 @@
+// Package workloads defines the synthetic benchmark models substituting
+// for the paper's CUDA suites (Table VI). Each model is a kernel in the
+// tbpoint IR plus a deterministic generator of per-thread-block parameters,
+// constructed so the statistical structure the TBPoint evaluation depends
+// on is preserved:
+//
+//   - regular kernels (Type II) have uniform or patterned thread-block
+//     sizes and homogeneous launch sequences (Fig. 8a);
+//   - irregular kernels (Type I) have scattered thread-block sizes,
+//     frontier-style launch-size variation, and (for mst) outlier thread
+//     blocks (Fig. 8b);
+//   - memory behaviour (coalescing, irregular accesses, intensity) follows
+//     each benchmark's well-known character.
+//
+// Thread-block counts and launch counts mirror Table VI at Scale = 1; the
+// Scale knob shrinks per-launch block counts proportionally so tests can
+// exercise the full pipeline quickly.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"tbpoint/internal/kernel"
+	"tbpoint/internal/stats"
+)
+
+// Type classifies kernels per Fig. 8.
+type Type int
+
+const (
+	// Irregular is Type I: scattered thread-block sizes.
+	Irregular Type = iota
+	// Regular is Type II: thread-block sizes exhibit particular patterns.
+	Regular
+)
+
+func (t Type) String() string {
+	if t == Regular {
+		return "II"
+	}
+	return "I"
+}
+
+// Config controls workload construction.
+type Config struct {
+	// Scale multiplies per-launch thread-block counts (1.0 = Table VI
+	// scale). Values below MinBlocksPerLaunch/blocks are clamped.
+	Scale float64
+	// Seed perturbs all stochastic generation; the default 0 gives the
+	// canonical instances used by the experiments.
+	Seed uint64
+}
+
+// MinBlocksPerLaunch is the floor on scaled launch sizes, chosen so every
+// launch still spans at least a few epochs at default occupancy.
+const MinBlocksPerLaunch = 16
+
+// DefaultConfig returns paper-scale construction.
+func DefaultConfig() Config { return Config{Scale: 1.0} }
+
+// Spec describes one benchmark model.
+type Spec struct {
+	Name  string
+	Suite string
+	Type  Type
+	// Launches and TotalTBs document the Table VI scale (Scale = 1).
+	Launches int
+	TotalTBs int
+
+	build func(s *Spec, cfg Config) *kernel.App
+}
+
+// Build constructs the application at the given configuration.
+func (s *Spec) Build(cfg Config) *kernel.App {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	app := s.build(s, cfg)
+	app.Name = s.Name
+	return app
+}
+
+// scaled returns n scaled by cfg.Scale with the per-launch floor applied.
+func scaled(n int, cfg Config) int {
+	v := int(float64(n)*cfg.Scale + 0.5)
+	if v < MinBlocksPerLaunch {
+		v = MinBlocksPerLaunch
+	}
+	return v
+}
+
+// rng returns the deterministic generator for one (benchmark, launch)
+// stream.
+func (s *Spec) rng(cfg Config, launch int) *stats.RNG {
+	h := uint64(14695981039346656037)
+	for _, c := range []byte(s.Name) {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	return stats.NewRNG(h ^ cfg.Seed ^ (uint64(launch)+1)*0x9e3779b97f4a7c15)
+}
+
+var registry []*Spec
+
+func register(s *Spec) *Spec {
+	registry = append(registry, s)
+	return s
+}
+
+// All returns the 12 Table VI benchmark specs in the paper's order.
+func All() []*Spec {
+	out := make([]*Spec, len(registry))
+	copy(out, registry)
+	sort.SliceStable(out, func(i, j int) bool { return order(out[i].Name) < order(out[j].Name) })
+	return out
+}
+
+var tableOrder = []string{
+	"bfs", "sssp", "mst", "mri", "spmv", "lbm",
+	"cfd", "kmeans", "hotspot", "stream", "black", "conv",
+}
+
+func order(name string) int {
+	for i, n := range tableOrder {
+		if n == name {
+			return i
+		}
+	}
+	return len(tableOrder)
+}
+
+// ByName returns the spec with the given name.
+func ByName(name string) (*Spec, error) {
+	for _, s := range registry {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("workloads: unknown benchmark %q", name)
+}
+
+// Names returns all benchmark names in table order.
+func Names() []string {
+	specs := All()
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
