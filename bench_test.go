@@ -188,6 +188,75 @@ func BenchmarkFig13RetargetOverhead(b *testing.B) {
 
 // --- Substrate micro-benchmarks ------------------------------------------
 
+// BenchmarkRunLaunchEventLoop stresses the event-calendar scheduler: black
+// is SFU-heavy, so warps sleep on long fixed latencies and the run loop
+// spends its time in the timing-wheel/calendar machinery (wake, park,
+// next-event jump) rather than in the memory system.
+func BenchmarkRunLaunchEventLoop(b *testing.B) {
+	app := tbpoint.MustBenchmark("black", 0.05)
+	sim := tbpoint.MustNewSimulator(tbpoint.DefaultSimConfig())
+	l := app.Launches[0]
+	var insts int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		insts += sim.RunLaunch(l, tbpoint.RunOptions{}).SimulatedWarpInsts
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(insts)/secs, "warpinsts/s")
+	}
+}
+
+// BenchmarkMemSystem stresses the memory hierarchy: stream misses both
+// cache levels on nearly every access, so the bounded MSHR table, the
+// L1/L2 lookups and the DRAM bank model dominate the run.
+func BenchmarkMemSystem(b *testing.B) {
+	app := tbpoint.MustBenchmark("stream", 0.05)
+	sim := tbpoint.MustNewSimulator(tbpoint.DefaultSimConfig())
+	l := app.Launches[0]
+	var insts int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		insts += sim.RunLaunch(l, tbpoint.RunOptions{}).SimulatedWarpInsts
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(insts)/secs, "warpinsts/s")
+	}
+}
+
+// BenchmarkFullAppParallel measures the whole-app launch fan-out: the same
+// multi-launch reference simulation sequentially and over the shared
+// worker budget (results are deep-equal either way; the determinism tests
+// pin that).
+func BenchmarkFullAppParallel(b *testing.B) {
+	app := tbpoint.MustBenchmark("kmeans", 0.05)
+	sim := tbpoint.MustNewSimulator(tbpoint.DefaultSimConfig())
+	for _, workers := range []int{1, 0} { // 0 = GOMAXPROCS
+		name := "seq"
+		if workers == 0 {
+			name = "par"
+		}
+		b.Run(name, func(b *testing.B) {
+			old := experiments.Parallelism
+			experiments.Parallelism = workers
+			defer func() { experiments.Parallelism = old }()
+			var insts int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run := experiments.FullApp(sim, app, 2000)
+				for _, r := range run.Launches {
+					insts += r.SimulatedWarpInsts
+				}
+			}
+			b.StopTimer()
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(insts)/secs, "warpinsts/s")
+			}
+		})
+	}
+}
+
 func BenchmarkSimulatorMemoryBound(b *testing.B) {
 	app := tbpoint.MustBenchmark("lbm", 0.01)
 	sim := tbpoint.MustNewSimulator(tbpoint.DefaultSimConfig())

@@ -13,7 +13,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"tbpoint/internal/experiments"
 )
@@ -24,10 +27,58 @@ func main() {
 	bench := flag.String("bench", "", "comma-separated benchmark subset (default: all 12)")
 	samples := flag.Int("samples", 10000, "Monte-Carlo samples for fig5")
 	verbose := flag.Bool("v", false, "progress output")
-	par := flag.Int("par", 0, "worker pool size for independent benchmarks (0 = GOMAXPROCS, 1 = sequential)")
+	par := flag.Int("par", 0, "shared worker budget for independent simulations (0 = GOMAXPROCS, 1 = sequential)")
 	jsonPath := flag.String("json", "", "also write results as JSON to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	benchJSON := flag.String("bench-json", "", "measure simulator throughput and write BENCH-style JSON to this file (no target needed)")
 	flag.Parse()
 	experiments.Parallelism = *par
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fail(err)
+			}
+		}()
+	}
+	if *benchJSON != "" {
+		f, err := os.Create(*benchJSON)
+		if err != nil {
+			fail(err)
+		}
+		if err := experiments.WriteThroughputJSON(f, 2*time.Second); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		if flag.NArg() == 0 {
+			return
+		}
+	}
 
 	targets := flag.Args()
 	if len(targets) == 0 {
@@ -63,10 +114,6 @@ func main() {
 	}
 
 	w := os.Stdout
-	fail := func(err error) {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
-	}
 	bundle := &experiments.Results{Scale: opts.Scale, Seed: opts.Seed}
 
 	if want["table6"] {

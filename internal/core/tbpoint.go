@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tbpoint/internal/gpusim"
+	"tbpoint/internal/par"
 	"tbpoint/internal/sampling"
 )
 
@@ -113,13 +114,26 @@ func runWithInter(sim *gpusim.Simulator, prof *AppProfile, inter *InterResult, o
 		Samples: map[int]*LaunchSample{},
 	}
 
+	// Representative launches are independent simulations, so they fan out
+	// over the shared worker budget (internal/par); the tables and samples
+	// are assembled sequentially in representative order afterwards, so the
+	// Result is identical to a sequential run.
 	cfg := sim.Config()
-	for _, rep := range res.Inter.RepLaunches() {
+	reps := res.Inter.RepLaunches()
+	tables := make([]*RegionTable, len(reps))
+	samples := make([]*LaunchSample, len(reps))
+	par.ForEach(len(reps), func(i int) error {
+		rep := reps[i]
 		l := prof.App.Launches[rep]
 		occ := cfg.Limits.SystemOccupancy(l.Kernel, cfg.NumSMs)
 		rt := IdentifyRegions(prof.Profiles[rep], occ, opts.SigmaIntra, opts.VarFactor)
-		res.Tables[rep] = rt
-		res.Samples[rep] = SampleLaunch(sim, l, prof.Profiles[rep], rt, opts)
+		tables[i] = rt
+		samples[i] = SampleLaunch(sim, l, prof.Profiles[rep], rt, opts)
+		return nil
+	})
+	for i, rep := range reps {
+		res.Tables[rep] = tables[i]
+		res.Samples[rep] = samples[i]
 	}
 
 	est := &res.Estimate

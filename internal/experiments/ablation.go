@@ -65,40 +65,49 @@ func sigmaVariants() []struct {
 // The warming study uses drift-prone and irregular kernels; the sigma study
 // uses bfs, whose stall-probability phases the threshold must separate.
 func RunAblations(opts Options) ([]AblationResult, error) {
-	var out []AblationResult
-	run := func(study, variant, bench string, co core.Options) error {
-		spec, err := workloads.ByName(bench)
+	// Flatten the study grid into independent cells and fan them out over
+	// the shared worker budget; out keeps the sequential (study, variant,
+	// bench) order because each cell writes to its own index.
+	type cell struct {
+		study, variant, bench string
+		co                    core.Options
+	}
+	var cells []cell
+	for _, v := range warmingVariants() {
+		for _, bench := range []string{"hotspot", "lbm", "bfs"} {
+			cells = append(cells, cell{"warming", v.name, bench, v.opts})
+		}
+	}
+	for _, v := range sigmaVariants() {
+		cells = append(cells, cell{"sigma-intra", v.name, "bfs", v.opts})
+	}
+	out := make([]AblationResult, len(cells))
+	err := forEachIndexed(len(cells), func(i int) error {
+		c := cells[i]
+		spec, err := workloads.ByName(c.bench)
 		if err != nil {
 			return err
 		}
 		o := opts
+		co := c.co
 		o.TBPoint = &co
 		r, err := RunBenchmark(spec, gpusim.DefaultConfig(), o)
 		if err != nil {
 			return err
 		}
-		out = append(out, AblationResult{
-			Study:      study,
-			Variant:    variant,
-			Bench:      bench,
+		out[i] = AblationResult{
+			Study:      c.study,
+			Variant:    c.variant,
+			Bench:      c.bench,
 			Err:        r.TBPointErr,
 			SampleSize: r.TBPoint.SampleSize,
-		})
+		}
 		opts.progress("# %-12s %-22s %-8s err %.2f%% size %.1f%%",
-			study, variant, bench, r.TBPointErr*100, r.TBPoint.SampleSize*100)
+			c.study, c.variant, c.bench, r.TBPointErr*100, r.TBPoint.SampleSize*100)
 		return nil
-	}
-	for _, v := range warmingVariants() {
-		for _, bench := range []string{"hotspot", "lbm", "bfs"} {
-			if err := run("warming", v.name, bench, v.opts); err != nil {
-				return nil, err
-			}
-		}
-	}
-	for _, v := range sigmaVariants() {
-		if err := run("sigma-intra", v.name, "bfs", v.opts); err != nil {
-			return nil, err
-		}
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

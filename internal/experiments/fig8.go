@@ -24,11 +24,14 @@ type Fig8Series struct {
 // RunFig8 produces the size-ratio series of the given benchmarks (the
 // paper plots one regular and one irregular kernel).
 func RunFig8(names []string, opts Options) ([]Fig8Series, error) {
-	var out []Fig8Series
-	for _, name := range names {
+	// Each series profiles its own freshly built app, so the names fan out
+	// over the shared worker budget; results keep the input order.
+	out := make([]Fig8Series, len(names))
+	err := forEachIndexed(len(names), func(i int) error {
+		name := names[i]
 		spec, err := workloads.ByName(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		app := spec.Build(workloads.Config{Scale: opts.Scale, Seed: opts.Seed})
 		// Use the largest launch, like picking the dominant kernel launch.
@@ -41,12 +44,16 @@ func RunFig8(names []string, opts Options) ([]Fig8Series, error) {
 		sizes := funcsim.ProfileLaunch(best).TBSizes()
 		mean := stats.Mean(sizes)
 		ratios := make([]float64, len(sizes))
-		for i, s := range sizes {
+		for j, s := range sizes {
 			if mean > 0 {
-				ratios[i] = s / mean
+				ratios[j] = s / mean
 			}
 		}
-		out = append(out, Fig8Series{Name: name, Type: spec.Type, Ratios: ratios})
+		out[i] = Fig8Series{Name: name, Type: spec.Type, Ratios: ratios}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

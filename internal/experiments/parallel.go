@@ -2,66 +2,26 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"tbpoint/internal/core"
 	"tbpoint/internal/gpusim"
+	"tbpoint/internal/par"
 	"tbpoint/internal/workloads"
 )
 
-// Parallelism controls how many benchmarks the harness evaluates
-// concurrently; each benchmark's own simulation remains sequential (the
-// simulator models one machine). Zero means GOMAXPROCS.
+// Parallelism controls how many workers the harness uses for independent
+// work — benchmark grids, full-app launch fan-out, and the representative
+// simulations inside core.Retarget all share this one budget (see
+// internal/par). Zero means GOMAXPROCS; one forces sequential runs.
 var Parallelism = 0
 
-func workers() int {
-	if Parallelism > 0 {
-		return Parallelism
-	}
-	return runtime.GOMAXPROCS(0)
-}
-
-// forEachIndexed runs fn(i) for i in [0, n) on a bounded worker pool,
-// returning the first error encountered (all workers drain regardless so
-// no goroutine leaks).
+// forEachIndexed runs fn(i) for i in [0, n) on the shared worker budget,
+// returning the error from the lowest failing index (deterministic
+// regardless of worker interleaving; all indices are attempted so no
+// goroutine leaks).
 func forEachIndexed(n int, fn func(i int) error) error {
-	w := workers()
-	if w > n {
-		w = n
-	}
-	if w <= 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	idx := make(chan int)
-	errs := make(chan error, n)
-	var wg sync.WaitGroup
-	for k := 0; k < w; k++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				errs <- fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
-	close(errs)
-	for err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	par.SetLimit(Parallelism)
+	return par.ForEach(n, fn)
 }
 
 // RunAccuracyParallel is RunAccuracy with the per-benchmark work fanned out

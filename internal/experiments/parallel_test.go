@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"tbpoint/internal/gpusim"
+	"tbpoint/internal/workloads"
+)
+
+// TestFullAppParallelDeterministic pins the launch fan-out to the
+// sequential result: the full-app reference simulation must be
+// deep-equal — every counter, unit and BBV — no matter how many workers
+// run the launches.
+func TestFullAppParallelDeterministic(t *testing.T) {
+	spec, err := workloads.ByName("kmeans") // multi-launch, exercises fan-out
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := spec.Build(workloads.Config{Scale: 0.02, Seed: 3})
+	if len(app.Launches) < 2 {
+		t.Fatalf("need a multi-launch app, got %d launches", len(app.Launches))
+	}
+	sim := gpusim.MustNew(gpusim.DefaultConfig())
+
+	old := Parallelism
+	defer func() { Parallelism = old }()
+
+	Parallelism = 1
+	ref := FullApp(sim, app, 2000)
+
+	for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
+		Parallelism = workers
+		got := FullApp(sim, app, 2000)
+		if len(got.Launches) != len(ref.Launches) {
+			t.Fatalf("workers=%d: %d launches, want %d", workers, len(got.Launches), len(ref.Launches))
+		}
+		for i := range ref.Launches {
+			if !reflect.DeepEqual(got.Launches[i], ref.Launches[i]) {
+				t.Errorf("workers=%d: launch %d differs from sequential run", workers, i)
+			}
+		}
+	}
+}
+
+// TestRetargetParallelDeterministic pins the representative-simulation
+// fan-out inside core.Retarget (reached through RunBenchmark) to the
+// sequential estimates.
+func TestRetargetParallelDeterministic(t *testing.T) {
+	opts := fastOpts()
+	opts.Benchmarks = []string{"kmeans"}
+
+	old := Parallelism
+	defer func() { Parallelism = old }()
+
+	run := func(workers int) *BenchResult {
+		Parallelism = workers
+		spec, err := workloads.ByName("kmeans")
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := RunBenchmark(spec, gpusim.DefaultConfig(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	ref := run(1)
+	for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
+		got := run(workers)
+		if got.FullIPC != ref.FullIPC || got.TBPointErr != ref.TBPointErr ||
+			got.TBPoint != ref.TBPoint {
+			t.Errorf("workers=%d: result differs from sequential\n got: %+v\nwant: %+v",
+				workers, got, ref)
+		}
+	}
+}
+
+// TestForEachIndexedLowestIndexError verifies the deterministic-error
+// contract: with several failing indices, the lowest one's error is the
+// one returned, under both sequential and parallel execution.
+func TestForEachIndexedLowestIndexError(t *testing.T) {
+	old := Parallelism
+	defer func() { Parallelism = old }()
+	for _, workers := range []int{1, 4} {
+		Parallelism = workers
+		for trial := 0; trial < 10; trial++ {
+			err := forEachIndexed(16, func(i int) error {
+				if i%5 == 2 { // fails at 2, 7, 12
+					return fmt.Errorf("cell %d failed", i)
+				}
+				return nil
+			})
+			if err == nil || err.Error() != "cell 2 failed" {
+				t.Fatalf("workers=%d: got %v, want error from index 2", workers, err)
+			}
+		}
+	}
+}

@@ -1,5 +1,7 @@
 package gpusim
 
+import "math/bits"
+
 // cache is a set-associative, LRU, tag-only cache model. It tracks hits and
 // misses; data is never stored (timing simulation only needs residency).
 // Both loads and stores allocate (write-allocate, no write-back traffic
@@ -12,6 +14,18 @@ type cache struct {
 	lastUse []int64  // LRU timestamps
 	dirty   []bool   // per way: written since fill
 
+	// Strength-reduction for the per-access address math: lineShift
+	// replaces the divide by lineB when lineB is a power of two (-1
+	// otherwise), setMask the modulo by sets when sets is (0 otherwise —
+	// a one-set cache uses the mask too, since line&0 == line%1). For
+	// non-power-of-two set counts, setM/setMLimit drive a Lemire fastmod
+	// (two multiplies instead of a divide), exact for line numbers up to
+	// setMLimit = (2^64-1)/sets; larger lines fall back to %.
+	lineShift int
+	setMask   uint64
+	setM      uint64
+	setMLimit uint64
+
 	Hits, Misses int64
 	Writebacks   int64
 }
@@ -19,12 +33,22 @@ type cache struct {
 func newCache(cfg CacheConfig) *cache {
 	sets := cfg.Sets()
 	c := &cache{
-		sets:    sets,
-		ways:    cfg.Ways,
-		lineB:   uint64(cfg.LineB),
-		tags:    make([]uint64, sets*cfg.Ways),
-		lastUse: make([]int64, sets*cfg.Ways),
-		dirty:   make([]bool, sets*cfg.Ways),
+		sets:      sets,
+		ways:      cfg.Ways,
+		lineB:     uint64(cfg.LineB),
+		tags:      make([]uint64, sets*cfg.Ways),
+		lastUse:   make([]int64, sets*cfg.Ways),
+		dirty:     make([]bool, sets*cfg.Ways),
+		lineShift: -1,
+	}
+	if lb := uint64(cfg.LineB); lb > 0 && lb&(lb-1) == 0 {
+		c.lineShift = bits.TrailingZeros64(lb)
+	}
+	if s := uint64(sets); s&(s-1) == 0 {
+		c.setMask = s - 1
+	} else {
+		c.setM = ^uint64(0)/s + 1
+		c.setMLimit = ^uint64(0) / s // n*sets must not overflow for fastmod
 	}
 	for i := range c.lastUse {
 		c.lastUse[i] = -1 // empty ways are preferred victims
@@ -36,15 +60,30 @@ func newCache(cfg CacheConfig) *cache {
 // marks the line dirty. It reports whether the access hit and, when the
 // fill evicted a dirty line, the evicted line's address (writeback != 0).
 func (c *cache) access(addr uint64, cycle int64, isStore bool) (hit bool, writeback uint64) {
-	line := addr / c.lineB
-	set := int(line % uint64(c.sets))
+	var line uint64
+	if c.lineShift >= 0 {
+		line = addr >> c.lineShift
+	} else {
+		line = addr / c.lineB
+	}
+	var set int
+	if c.setMask != 0 || c.sets == 1 {
+		set = int(line & c.setMask)
+	} else if line <= c.setMLimit {
+		hi, _ := bits.Mul64(c.setM*line, uint64(c.sets))
+		set = int(hi)
+	} else {
+		set = int(line % uint64(c.sets))
+	}
 	tag := line + 1 // +1 so that tag 0 is never confused with an empty way
 	base := set * c.ways
 
-	victim, victimUse := base, c.lastUse[base]
-	for w := 0; w < c.ways; w++ {
-		i := base + w
-		if c.tags[i] == tag {
+	// Hit scan first: the victim search is only needed on a miss, and hits
+	// dominate, so keeping the loops separate keeps the hot path tight.
+	ways := c.tags[base : base+c.ways]
+	for w := range ways {
+		if ways[w] == tag {
+			i := base + w
 			c.lastUse[i] = cycle
 			if isStore {
 				c.dirty[i] = true
@@ -52,6 +91,9 @@ func (c *cache) access(addr uint64, cycle int64, isStore bool) (hit bool, writeb
 			c.Hits++
 			return true, 0
 		}
+	}
+	victim, victimUse := base, c.lastUse[base]
+	for i := base + 1; i < base+c.ways; i++ {
 		if c.lastUse[i] < victimUse {
 			victim, victimUse = i, c.lastUse[i]
 		}

@@ -110,6 +110,24 @@ type Config struct {
 	// initially-resident block in lockstep, which creates artificial
 	// GPU-wide IPC oscillation.
 	DispatchInterval int
+	// MSHRCapacity bounds the per-SM MSHR merge-tracking table: when more
+	// than this many lines are tracked, entries whose fill has completed
+	// are pruned. Only outstanding fills influence timing, so the knob
+	// trades memory for merge-tracking work without changing results.
+	// Zero means DefaultMSHRCapacity; negative is rejected by Validate.
+	MSHRCapacity int
+}
+
+// DefaultMSHRCapacity is the per-SM MSHR table capacity used when
+// Config.MSHRCapacity is zero (the pre-config hardcoded prune threshold).
+const DefaultMSHRCapacity = 4096
+
+// mshrCapacity resolves the configured capacity, applying the default.
+func (c Config) mshrCapacity() int {
+	if c.MSHRCapacity == 0 {
+		return DefaultMSHRCapacity
+	}
+	return c.MSHRCapacity
 }
 
 // DefaultConfig returns the Table V configuration: 14 SMs at Fermi-like
@@ -131,6 +149,7 @@ func DefaultConfig() Config {
 			BaseLat:    100,
 		},
 		DispatchInterval: 8,
+		MSHRCapacity:     DefaultMSHRCapacity,
 	}
 }
 
@@ -158,6 +177,9 @@ func (c Config) Validate() error {
 	}
 	if c.DRAM.Channels < 1 || c.DRAM.Banks < 1 {
 		return fmt.Errorf("gpusim: invalid DRAM config %+v", c.DRAM)
+	}
+	if c.MSHRCapacity < 0 {
+		return fmt.Errorf("gpusim: MSHRCapacity %d < 0", c.MSHRCapacity)
 	}
 	return nil
 }

@@ -1,0 +1,116 @@
+package gpusim_test
+
+import (
+	"testing"
+
+	"tbpoint/internal/gpusim"
+	"tbpoint/internal/workloads"
+)
+
+// goldenRow is the aggregate counter signature of one benchmark under one
+// configuration: every counter the simulator exposes, summed over the app's
+// launches. Any scheduler or memory-system change that alters simulated
+// behaviour — even a reordering of same-cycle issue — shifts at least one
+// of these.
+type goldenRow struct {
+	config, bench string
+
+	cycles, insts, l1m, l2m, dram, rowh, wb, merges int64
+	units, fixed, tbs                               int
+}
+
+// goldenRows pins the simulator's observable behaviour at workload scale
+// 0.05, seed 7. The values were recorded from the original per-cycle
+// scan-all-SMs scheduler; the event-calendar scheduler (and every
+// optimisation since) must reproduce them bit-identically. Do NOT update
+// these numbers to make a failing test pass unless the change is an
+// intentional, documented behaviour change.
+var goldenRows = []goldenRow{
+	{"default", "cfd", 805900, 1680000, 380000, 380000, 380000, 24500, 91600, 0, 100, 400, 2500},
+	{"default", "mst", 145644, 32208, 46018, 45886, 45886, 455, 60, 2, 24, 31, 173},
+	{"default", "stream", 1844203, 798560, 451260, 450493, 450493, 1168, 61, 12, 217, 434, 868},
+	{"default", "lbm", 1421960, 3110400, 1296960, 1296940, 1678740, 15580, 800180, 0, 100, 400, 5400},
+	{"default", "kmeans", 393150, 2653920, 302640, 302640, 302670, 950, 13640, 0, 50, 410, 2910},
+	{"occ16x8", "cfd", 1349200, 1680000, 380000, 380000, 380000, 47300, 129500, 0, 200, 400, 2500},
+	{"occ16x8", "mst", 147475, 32208, 46018, 45885, 45886, 461, 143, 2, 24, 31, 173},
+	{"occ16x8", "stream", 1844203, 798560, 451260, 450493, 450493, 1168, 61, 12, 217, 434, 868},
+	{"occ16x8", "lbm", 3235320, 3110400, 1296000, 1296000, 1683540, 24120, 811580, 0, 340, 400, 5400},
+	{"occ16x8", "kmeans", 1076640, 2653920, 302640, 302640, 306910, 120550, 23600, 0, 180, 410, 2910},
+}
+
+func goldenConfig(name string) gpusim.Config {
+	if name == "occ16x8" {
+		return gpusim.DefaultConfig().WithOccupancy(16, 8)
+	}
+	return gpusim.DefaultConfig()
+}
+
+// goldenUnitSize mirrors experiments.Options.unitSize with UnitDivisor 400
+// and MinUnitInsts 2000 (the values the rows were recorded under).
+func goldenUnitSize(total int64) int64 {
+	u := total / 400
+	if u < 2000 {
+		u = 2000
+	}
+	if u > 1<<20 {
+		u = 1 << 20
+	}
+	return u
+}
+
+func runGolden(t *testing.T, row goldenRow) goldenRow {
+	t.Helper()
+	spec, err := workloads.ByName(row.bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := spec.Build(workloads.Config{Scale: 0.05, Seed: 7})
+	sim := gpusim.MustNew(goldenConfig(row.config))
+	got := goldenRow{config: row.config, bench: row.bench}
+	unit := goldenUnitSize(app.TotalWarpInsts())
+	for _, l := range app.Launches {
+		r := sim.RunLaunch(l, gpusim.RunOptions{FixedUnitInsts: unit, CollectBBV: true})
+		got.cycles += r.Cycles
+		got.insts += r.SimulatedWarpInsts
+		got.l1m += r.L1Misses
+		got.l2m += r.L2Misses
+		got.dram += r.DRAMAccesses
+		got.rowh += r.DRAMRowHits
+		got.wb += r.Writebacks
+		got.merges += r.MSHRMerges
+		got.units += len(r.Units)
+		got.fixed += len(r.FixedUnits)
+		got.tbs += r.SimulatedTBs
+	}
+	return got
+}
+
+// TestGoldenCounters locks the simulator to the recorded pre-event-loop
+// behaviour: five benchmarks spanning regular, irregular, launch-heavy and
+// memory-bound shapes, under the default and a retargeted occupancy
+// configuration.
+func TestGoldenCounters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden sweep is a few seconds; skipped in -short")
+	}
+	for _, row := range goldenRows {
+		row := row
+		t.Run(row.config+"/"+row.bench, func(t *testing.T) {
+			t.Parallel()
+			if got := runGolden(t, row); got != row {
+				t.Errorf("counters diverged from golden\n got: %+v\nwant: %+v", got, row)
+			}
+		})
+	}
+}
+
+// TestRunLaunchRepeatable pins run-to-run determinism on one simulator
+// instance (arena reuse across RunLaunch calls must not leak state).
+func TestRunLaunchRepeatable(t *testing.T) {
+	row := goldenRows[1] // mst: irregular, exercises MSHR merges
+	a := runGolden(t, row)
+	b := runGolden(t, row)
+	if a != b {
+		t.Errorf("two identical runs diverged:\n  %+v\n  %+v", a, b)
+	}
+}

@@ -11,6 +11,7 @@ type dram struct {
 	cfg      DRAMConfig
 	nextFree []int64  // per (channel, bank): cycle the bank is free
 	openRow  []uint64 // per (channel, bank): open row + 1 (0 = closed)
+	bankMask uint64   // Banks-1 when Banks is a power of two, else 0
 
 	Accesses int64
 	RowHits  int64
@@ -18,11 +19,15 @@ type dram struct {
 
 func newDRAM(cfg DRAMConfig) *dram {
 	n := cfg.Channels * cfg.Banks
-	return &dram{
+	d := &dram{
 		cfg:      cfg,
 		nextFree: make([]int64, n),
 		openRow:  make([]uint64, n),
 	}
+	if b := uint64(cfg.Banks); b > 0 && b&(b-1) == 0 {
+		d.bankMask = b - 1
+	}
+	return d
 }
 
 // access issues a request for addr arriving at the controller at cycle
@@ -31,9 +36,16 @@ func (d *dram) access(addr uint64, arrive int64) int64 {
 	d.Accesses++
 	row := addr >> uint(d.cfg.RowBits)
 	// Interleave channels and banks on row-ish granularity so streams
-	// spread across banks while same-row locality is preserved.
-	ch := int(row % uint64(d.cfg.Channels))
-	bank := int((row / uint64(d.cfg.Channels)) % uint64(d.cfg.Banks))
+	// spread across banks while same-row locality is preserved. One divide
+	// covers both the channel remainder and the bank quotient.
+	q := row / uint64(d.cfg.Channels)
+	ch := int(row - q*uint64(d.cfg.Channels))
+	var bank int
+	if d.bankMask != 0 {
+		bank = int(q & d.bankMask)
+	} else {
+		bank = int(q % uint64(d.cfg.Banks))
+	}
 	b := ch*d.cfg.Banks + bank
 
 	service := int64(d.cfg.RowMissLat)

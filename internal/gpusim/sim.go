@@ -2,7 +2,8 @@ package gpusim
 
 import (
 	"fmt"
-	"math"
+	"math/bits"
+	"sync"
 
 	"tbpoint/internal/isa"
 	"tbpoint/internal/kernel"
@@ -10,12 +11,15 @@ import (
 )
 
 // Simulator runs cycle-level launch simulations under one configuration.
-// A Simulator holds no mutable state: caches and DRAM state are created per
-// RunLaunch call (matching a trace-driven simulator restarted per kernel
-// launch), so concurrent RunLaunch calls from multiple goroutines are safe
-// as long as they do not share Hooks.
+// A Simulator holds no mutable per-run state: caches and DRAM state are
+// handed out per RunLaunch call (matching a trace-driven simulator restarted
+// per kernel launch), so concurrent RunLaunch calls from multiple goroutines
+// are safe as long as they do not share Hooks. The backing arrays of that
+// per-run state are recycled through an internal sync.Pool, which is itself
+// concurrency-safe.
 type Simulator struct {
-	cfg Config
+	cfg    Config
+	arenas sync.Pool // of *runArena
 }
 
 // New returns a simulator for the given configuration.
@@ -39,23 +43,34 @@ func MustNew(cfg Config) *Simulator {
 func (s *Simulator) Config() Config { return s.cfg }
 
 type warpState struct {
+	// synth is the warp's instruction stream when the provider is the
+	// synthetic expander (the overwhelmingly common case): embedding it by
+	// value lets issue() call Next without allocation or interface
+	// dispatch. stream is non-nil for any other provider and takes
+	// precedence.
+	synth  trace.SynthStream
 	stream trace.Stream
 	done   bool
 }
 
 type tbState struct {
 	id    int
+	slot  int32 // index of this state in runState.tbs
 	sm    int
 	warps []warpState
 	live  int // warps not yet exited
 
 	barArrived int
-	barWaiting []int // warp indices parked at the barrier
+	barWaiting []int32 // warp indices parked at the barrier
 }
 
+// warpRef identifies one warp by its thread block's arena slot and warp
+// index. It is deliberately pointer-free: the scheduler's ready queues and
+// wake heaps copy entries heavily, and pointer-free entries keep those moves
+// out of the garbage collector's write barriers.
 type warpRef struct {
-	tb *tbState
-	w  int
+	slot int32
+	w    int32
 }
 
 type wakeEntry struct {
@@ -63,20 +78,27 @@ type wakeEntry struct {
 	ref   warpRef
 }
 
-// wakeHeap is a binary min-heap on wake cycle.
+// wakeHeap is a binary min-heap on wake cycle. The sift loops are
+// hole-based — the displaced element is held in hand and written once at
+// its final position — but perform exactly the comparisons of the classic
+// swap-based sift, so the resulting layout (and hence the pop order of
+// equal-cycle entries, which the simulation results depend on) is
+// identical entry for entry.
 type wakeHeap []wakeEntry
 
 func (h *wakeHeap) push(e wakeEntry) {
 	*h = append(*h, e)
-	i := len(*h) - 1
+	hp := *h
+	i := len(hp) - 1
 	for i > 0 {
 		p := (i - 1) / 2
-		if (*h)[p].cycle <= (*h)[i].cycle {
+		if hp[p].cycle <= e.cycle {
 			break
 		}
-		(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
+		hp[i] = hp[p]
 		i = p
 	}
+	hp[i] = e
 }
 
 func (h *wakeHeap) peek() (int64, bool) {
@@ -86,29 +108,37 @@ func (h *wakeHeap) peek() (int64, bool) {
 	return (*h)[0].cycle, true
 }
 
-func (h *wakeHeap) pop() wakeEntry {
+// popDue pops the root entry if it is due by cycle. Fusing the peek and the
+// pop keeps drainWakes to one bounds check per drained entry.
+func (h *wakeHeap) popDue(cycle int64) (warpRef, bool) {
 	old := *h
-	top := old[0]
+	if len(old) == 0 || old[0].cycle > cycle {
+		return warpRef{}, false
+	}
+	top := old[0].ref
 	n := len(old) - 1
-	old[0] = old[n]
+	moved := old[n]
 	*h = old[:n]
 	i := 0
 	for {
 		l, r := 2*i+1, 2*i+2
-		m := i
-		if l < n && old[l].cycle < old[m].cycle {
-			m = l
+		m, mc := i, moved.cycle
+		if l < n && old[l].cycle < mc {
+			m, mc = l, old[l].cycle
 		}
-		if r < n && old[r].cycle < old[m].cycle {
+		if r < n && old[r].cycle < mc {
 			m = r
 		}
 		if m == i {
 			break
 		}
-		old[i], old[m] = old[m], old[i]
+		old[i] = old[m]
 		i = m
 	}
-	return top
+	if n > 0 {
+		old[i] = moved
+	}
+	return top, true
 }
 
 type smState struct {
@@ -140,25 +170,138 @@ func (sm *smState) hasReady() bool { return sm.readyHead < len(sm.ready) }
 
 func (sm *smState) drainWakes(cycle int64) {
 	for {
-		c, ok := sm.wakes.peek()
-		if !ok || c > cycle {
+		ref, ok := sm.wakes.popDue(cycle)
+		if !ok {
 			return
 		}
-		sm.pushReady(sm.wakes.pop().ref)
+		sm.pushReady(ref)
 	}
+}
+
+func (sm *smState) reset(id int) {
+	sm.id = id
+	sm.ready = sm.ready[:0]
+	sm.readyHead = 0
+	sm.wakes = sm.wakes[:0]
+	sm.resident = 0
+	sm.warpInsts = 0
+	sm.lastCycle = 0
+}
+
+// wheelSize is the span (cycles) of the scheduler's timing wheel: an idle
+// SM waking within wheelSize cycles is recorded in the wheel bucket of its
+// exact wake cycle, so it costs nothing at all until then. The span covers
+// the pipeline, L1 and uncontended DRAM latencies; wakes further out
+// (heavily queued DRAM) overflow to the per-SM calendar. Must be a power
+// of two; the value only moves work between the wheel and the calendar and
+// never affects simulation results.
+const (
+	wheelSize = 512
+	wheelMask = wheelSize - 1
+)
+
+// calendar is the parked-SM event calendar: for each parked SM it records
+// the cycle at which the SM next becomes actionable (0 = not parked; wake
+// cycles are always strictly positive because wakes are strictly in the
+// future). With at most one entry per SM a flat per-SM array beats any
+// ordered structure: parking is a single store, and pulling the due SMs is
+// an id-ordered scan over a couple of cache lines, gated by a cached
+// minimum so cycles with nothing due cost one compare.
+type calendar struct {
+	at   []int64 // per-SM wake cycle, 0 = not parked
+	next int64   // exact min of the non-zero entries (undefined when n == 0)
+	n    int     // number of parked SMs
+}
+
+func (c *calendar) reset(numSMs int) {
+	if cap(c.at) < numSMs {
+		c.at = make([]int64, numSMs)
+	} else {
+		c.at = c.at[:numSMs]
+		clear(c.at)
+	}
+	c.n = 0
+}
+
+func (c *calendar) push(sm int32, cycle int64) {
+	c.at[sm] = cycle
+	if c.n == 0 || cycle < c.next {
+		c.next = cycle
+	}
+	c.n++
+}
+
+func (c *calendar) peekCycle() (int64, bool) {
+	if c.n == 0 {
+		return 0, false
+	}
+	return c.next, true
+}
+
+// pullDueMask sets the bit of every parked SM due by cycle in the due mask,
+// unparks them, and recomputes the cached minimum of the remainder. It
+// reports whether any SM was pulled.
+func (c *calendar) pullDueMask(cycle int64, due []uint64) bool {
+	if c.n == 0 || c.next > cycle {
+		return false
+	}
+	min := int64(0)
+	pulled := false
+	for sm, at := range c.at {
+		if at == 0 {
+			continue
+		}
+		if at <= cycle {
+			due[sm>>6] |= 1 << (uint(sm) & 63)
+			pulled = true
+			c.at[sm] = 0
+			c.n--
+		} else if min == 0 || at < min {
+			min = at
+		}
+	}
+	c.next = min
+	return pulled
 }
 
 // runState bundles the mutable state of one launch simulation.
 type runState struct {
 	sim   *Simulator
 	prov  trace.Provider
+	synth *trace.Synthetic // non-nil when prov is the synthetic expander
 	opts  RunOptions
+	hk    *Hooks
 	mem   *memSystem
-	sms   []*smState
+	sms   []smState
 	res   *LaunchResult
 	occ   int // blocks per SM
 	wpb   int
 	cycle int64
+
+	// tbs is the thread-block arena: one slot per potentially resident
+	// block (NumSMs x occupancy), recycled through free as blocks retire.
+	tbs  []tbState
+	free []int32
+
+	// Event-calendar scheduling state. All SM sets are bitmasks of
+	// maskWords uint64 words (bit i = SM i), iterated low-to-high so SMs
+	// are always processed in ascending id — the order of the per-cycle
+	// scan this machinery replaces. ready holds the SMs with a ready warp
+	// (visited every cycle); an idle SM waking within wheelSize cycles
+	// sits in the wheel bucket of its wake cycle and costs nothing until
+	// then; wakes beyond the wheel overflow to the per-SM calendar.
+	maskWords int
+	ready     []uint64 // SMs with a ready warp
+	due       []uint64 // scratch: SMs actionable this cycle
+	wheel     []uint64 // wheelSize buckets x maskWords words
+	wheelSum  []uint64 // wheelSize bits: bucket non-empty
+	cal       calendar
+
+	// latTab is Lat.Of with the <1 clamp baked in, indexed by opcode, so
+	// the per-instruction issue path is one table load instead of a
+	// switch. Indexed by the raw uint8 so hand-built traces with invalid
+	// opcodes stay in range.
+	latTab [256]int64
 
 	nextTB  int
 	totalTB int
@@ -168,7 +311,7 @@ type runState struct {
 	lastDispatch int64 // cycle the most recent block's warps became ready
 
 	// Specified-thread-block sampling units.
-	specified      *tbState
+	specified      int32 // arena slot of the specified block (-1 = none)
 	pendingSpecify bool
 	unitStart      int64
 	unitStartInsts int64
@@ -179,6 +322,102 @@ type runState struct {
 	bbv             []int64
 
 	addrs [trace.MaxRequests]uint64
+}
+
+// runArena owns the reusable backing state of one launch simulation. Arenas
+// are recycled through the Simulator's sync.Pool so repeated RunLaunch
+// calls stop paying the allocation and zeroing cost of caches, heaps and
+// queues (the LaunchResult handed to the caller is always freshly
+// allocated and never recycled).
+type runArena struct {
+	rs  runState
+	sms []smState
+}
+
+var noHooks Hooks
+
+// resizeCleared returns s resized to n elements, all zero, reusing the
+// backing array when possible.
+func resizeCleared(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+func (s *Simulator) getArena() *runArena {
+	if v := s.arenas.Get(); v != nil {
+		return v.(*runArena)
+	}
+	ar := &runArena{sms: make([]smState, s.cfg.NumSMs)}
+	ar.rs.mem = newMemSystem(s.cfg)
+	ar.rs.sms = ar.sms
+	return ar
+}
+
+// reset prepares the arena's runState for a fresh launch simulation.
+func (ar *runArena) reset(s *Simulator, prov trace.Provider, opts RunOptions) *runState {
+	rs := &ar.rs
+	for i := range ar.sms {
+		ar.sms[i].reset(i)
+	}
+	rs.mem.reset()
+	rs.sim = s
+	rs.prov = prov
+	rs.synth, _ = prov.(*trace.Synthetic)
+	rs.opts = opts
+	rs.hk = opts.Hooks
+	if rs.hk == nil {
+		rs.hk = &noHooks
+	}
+	rs.res = &LaunchResult{SMs: make([]SMStat, s.cfg.NumSMs)}
+	rs.occ = 0
+	rs.wpb = prov.WarpsPerBlock()
+	rs.cycle = 0
+	rs.free = rs.free[:0]
+	rs.maskWords = (len(ar.sms) + 63) / 64
+	rs.ready = resizeCleared(rs.ready, rs.maskWords)
+	rs.due = resizeCleared(rs.due, rs.maskWords)
+	rs.wheel = resizeCleared(rs.wheel, wheelSize*rs.maskWords)
+	rs.wheelSum = resizeCleared(rs.wheelSum, wheelSize/64)
+	rs.cal.reset(len(ar.sms))
+	for op := range rs.latTab {
+		lat := int64(s.cfg.Lat.Of(isa.Opcode(op)))
+		if lat < 1 {
+			lat = 1
+		}
+		rs.latTab[op] = lat
+	}
+	rs.nextTB = 0
+	rs.totalTB = prov.NumBlocks()
+	rs.liveTBs = 0
+	rs.totalIssued = 0
+	rs.lastDispatch = 0
+	rs.specified = -1
+	rs.pendingSpecify = true
+	rs.unitStart = 0
+	rs.unitStartInsts = 0
+	rs.fixedStartInsts = 0
+	rs.fixedStartCycle = 0
+	rs.bbv = rs.bbv[:0]
+	return rs
+}
+
+// prepareSlots sizes the thread-block arena for the launch's maximum
+// residency. Slots are handed out LIFO via rs.free; tbs never grows during
+// a run, so &rs.tbs[slot] pointers stay valid.
+func (rs *runState) prepareSlots(n int) {
+	if cap(rs.tbs) < n {
+		tbs := make([]tbState, n)
+		copy(tbs, rs.tbs[:cap(rs.tbs)])
+		rs.tbs = tbs
+	}
+	rs.tbs = rs.tbs[:n]
+	for i := n - 1; i >= 0; i-- {
+		rs.free = append(rs.free, int32(i))
+	}
 }
 
 // RunLaunch simulates launch l. If opts/Hooks request skipping, skipped
@@ -193,68 +432,103 @@ func (s *Simulator) RunLaunch(l *kernel.Launch, opts RunOptions) *LaunchResult {
 // The launch supplies only occupancy-relevant resource demands; the
 // instruction stream comes entirely from prov.
 func (s *Simulator) RunLaunchProvider(l *kernel.Launch, prov trace.Provider, opts RunOptions) *LaunchResult {
-	rs := &runState{
-		sim:            s,
-		prov:           prov,
-		opts:           opts,
-		mem:            newMemSystem(s.cfg),
-		res:            &LaunchResult{SMs: make([]SMStat, s.cfg.NumSMs)},
-		occ:            s.cfg.Limits.BlocksPerSM(l.Kernel),
-		wpb:            prov.WarpsPerBlock(),
-		totalTB:        prov.NumBlocks(),
-		pendingSpecify: true,
-	}
-	rs.sms = make([]*smState, s.cfg.NumSMs)
-	for i := range rs.sms {
-		rs.sms[i] = &smState{id: i}
-	}
+	ar := s.getArena()
+	rs := ar.reset(s, prov, opts)
+	rs.occ = s.cfg.Limits.BlocksPerSM(l.Kernel)
+	rs.prepareSlots(s.cfg.NumSMs * rs.occ)
 	rs.run()
-	return rs.res
+	res := rs.res
+	rs.res = nil
+	rs.prov = nil
+	rs.opts = RunOptions{}
+	rs.hk = nil
+	s.arenas.Put(ar)
+	return res
 }
 
-func (rs *runState) hooks() *Hooks {
-	if rs.opts.Hooks != nil {
-		return rs.opts.Hooks
-	}
-	return &Hooks{}
-}
+func (rs *runState) hooks() *Hooks { return rs.hk }
 
 func (rs *runState) run() {
 	// Initial greedy fill: round-robin one block per SM until every SM is
 	// at occupancy or blocks run out.
 	for round := 0; round < rs.occ; round++ {
-		for _, sm := range rs.sms {
-			if sm.resident < rs.occ {
+		for i := range rs.sms {
+			if sm := &rs.sms[i]; sm.resident < rs.occ {
 				rs.dispatchOne(sm)
 			}
 		}
 	}
 
+	// Seed the schedule: SMs with a warp ready at cycle 0 enter the ready
+	// mask, the rest park (wheel or calendar) at their earliest wake.
+	for i := range rs.sms {
+		sm := &rs.sms[i]
+		sm.drainWakes(rs.cycle)
+		if sm.hasReady() {
+			rs.ready[i>>6] |= 1 << (uint(i) & 63)
+		} else if c, ok := sm.wakes.peek(); ok {
+			rs.parkSM(int32(i), c)
+		}
+	}
+
+	// Event-schedule main loop. Instead of scanning every SM every cycle,
+	// each cycle assembles the actionable set — SMs with a ready warp,
+	// plus SMs whose recorded wake cycle is exactly now (wheel bucket /
+	// calendar) — and visits only those; idle SMs cost nothing until
+	// their wake. When no SM is actionable, time jumps straight to the
+	// next recorded wake. Bits are scanned low-to-high, so within a cycle
+	// SMs are processed in ascending id, exactly the order of the
+	// per-cycle scan this replaces — results are bit-identical.
+	words := rs.maskWords
 	for rs.liveTBs > 0 {
-		issued := false
-		for _, sm := range rs.sms {
-			sm.drainWakes(rs.cycle)
-			if ref, ok := sm.popReady(); ok {
-				rs.issue(sm, ref)
-				issued = true
-			}
+		slot := int(rs.cycle) & wheelMask
+		bkt := rs.wheel[slot*words : (slot+1)*words]
+		var any uint64
+		for w := 0; w < words; w++ {
+			d := rs.ready[w] | bkt[w]
+			bkt[w] = 0
+			rs.due[w] = d
+			any |= d
 		}
-		if issued {
-			rs.cycle++
-			continue
+		rs.wheelSum[slot>>6] &^= 1 << (uint(slot) & 63)
+		if rs.cal.pullDueMask(rs.cycle, rs.due) {
+			any = 1
 		}
-		// Nothing ready anywhere: jump to the earliest wake.
-		next := int64(math.MaxInt64)
-		for _, sm := range rs.sms {
-			if c, ok := sm.wakes.peek(); ok && c < next {
+		if any == 0 {
+			// Nothing actionable: jump to the earliest recorded wake.
+			next := rs.nextWheelCycle()
+			if c, ok := rs.cal.peekCycle(); ok && (next == 0 || c < next) {
 				next = c
 			}
+			if next == 0 {
+				panic(fmt.Sprintf("gpusim: deadlock with %d live thread blocks at cycle %d",
+					rs.liveTBs, rs.cycle))
+			}
+			rs.cycle = next
+			continue
 		}
-		if next == math.MaxInt64 {
-			panic(fmt.Sprintf("gpusim: deadlock with %d live thread blocks at cycle %d",
-				rs.liveTBs, rs.cycle))
+		for w := 0; w < words; w++ {
+			d := rs.due[w]
+			for d != 0 {
+				bit := d & (-d)
+				d &^= bit
+				id := int32(w<<6 + bits.TrailingZeros64(bit))
+				sm := &rs.sms[id]
+				sm.drainWakes(rs.cycle)
+				if ref, ok := sm.popReady(); ok {
+					rs.issue(sm, ref)
+				}
+				if sm.hasReady() {
+					rs.ready[w] |= bit
+				} else {
+					rs.ready[w] &^= bit
+					if c, ok := sm.wakes.peek(); ok {
+						rs.parkSM(id, c)
+					}
+				}
+			}
 		}
-		rs.cycle = next
+		rs.cycle++
 	}
 
 	// Close the trailing fixed unit, if any.
@@ -264,8 +538,8 @@ func (rs *runState) run() {
 
 	res := rs.res
 	res.Cycles = rs.cycle
-	for i, sm := range rs.sms {
-		res.SMs[i] = SMStat{WarpInsts: sm.warpInsts, Cycles: sm.lastCycle}
+	for i := range rs.sms {
+		res.SMs[i] = SMStat{WarpInsts: rs.sms[i].warpInsts, Cycles: rs.sms[i].lastCycle}
 	}
 	res.SimulatedWarpInsts = rs.totalIssued
 	res.L1Hits, res.L1Misses = rs.mem.l1Stats()
@@ -273,6 +547,46 @@ func (rs *runState) run() {
 	res.DRAMAccesses, res.DRAMRowHits = rs.mem.dram.Accesses, rs.mem.dram.RowHits
 	res.Writebacks = rs.mem.writebacks()
 	res.MSHRMerges = rs.mem.MSHRMerges
+}
+
+// parkSM records that idle SM id next becomes actionable at cycle c: in the
+// timing wheel when c is within its span, else in the overflow calendar.
+func (rs *runState) parkSM(id int32, c int64) {
+	if c-rs.cycle < wheelSize {
+		slot := int(c) & wheelMask
+		rs.wheel[slot*rs.maskWords+int(id)>>6] |= 1 << (uint(id) & 63)
+		rs.wheelSum[slot>>6] |= 1 << (uint(slot) & 63)
+	} else {
+		rs.cal.push(id, c)
+	}
+}
+
+// nextWheelCycle returns the earliest cycle after rs.cycle with a non-empty
+// wheel bucket, or 0 if the wheel is empty. Every wheel entry is within
+// (rs.cycle, rs.cycle+wheelSize), so the wrapped slot distance is
+// unambiguous. The occupancy summary is scanned a word (64 buckets) at a
+// time.
+func (rs *runState) nextWheelCycle() int64 {
+	nw := len(rs.wheelSum)
+	startSlot := int(rs.cycle+1) & wheelMask
+	wi := startSlot >> 6
+	w := rs.wheelSum[wi] &^ (1<<(uint(startSlot)&63) - 1)
+	for k := 0; k <= nw; k++ {
+		if w != 0 {
+			s := wi<<6 + bits.TrailingZeros64(w)
+			d := int64(s - startSlot)
+			if d < 0 {
+				d += wheelSize
+			}
+			return rs.cycle + 1 + d
+		}
+		wi++
+		if wi == nw {
+			wi = 0
+		}
+		w = rs.wheelSum[wi]
+	}
+	return 0
 }
 
 // dispatchOne hands the next pending thread block (skipping as directed by
@@ -290,8 +604,17 @@ func (rs *runState) dispatchOne(sm *smState) bool {
 			continue
 		}
 		rs.nextTB++
-		st := &tbState{id: tb, sm: sm.id, live: rs.wpb}
-		st.warps = make([]warpState, rs.wpb)
+		slot := rs.free[len(rs.free)-1]
+		rs.free = rs.free[:len(rs.free)-1]
+		st := &rs.tbs[slot]
+		st.id, st.slot, st.sm, st.live = tb, slot, sm.id, rs.wpb
+		st.barArrived = 0
+		st.barWaiting = st.barWaiting[:0]
+		if cap(st.warps) < rs.wpb {
+			st.warps = make([]warpState, rs.wpb)
+		} else {
+			st.warps = st.warps[:rs.wpb]
+		}
 		// The global scheduler dispatches at a bounded rate; stagger block
 		// start times accordingly.
 		readyAt := rs.cycle
@@ -300,7 +623,14 @@ func (rs *runState) dispatchOne(sm *smState) bool {
 		}
 		rs.lastDispatch = readyAt
 		for w := 0; w < rs.wpb; w++ {
-			st.warps[w] = warpState{stream: rs.prov.WarpStream(tb, w)}
+			ws := &st.warps[w]
+			ws.done = false
+			if rs.synth != nil {
+				ws.stream = nil
+				rs.synth.InitStream(&ws.synth, tb, w)
+			} else {
+				ws.stream = rs.prov.WarpStream(tb, w)
+			}
 			// Deterministic start jitter decorrelates execution phases.
 			// Blocks of the initial fill get a large jitter (they would
 			// otherwise run in lockstep cohorts that take many occupancy
@@ -317,7 +647,7 @@ func (rs *runState) dispatchOne(sm *smState) bool {
 				}
 				jitter = int64(h % span)
 			}
-			rs.wake(warpRef{tb: st, w: w}, readyAt+jitter)
+			rs.wake(warpRef{slot: slot, w: int32(w)}, readyAt+jitter)
 		}
 		sm.resident++
 		rs.liveTBs++
@@ -325,7 +655,7 @@ func (rs *runState) dispatchOne(sm *smState) bool {
 			h.OnTBDispatch(tb, sm.id, rs.cycle)
 		}
 		if rs.pendingSpecify {
-			rs.specified = st
+			rs.specified = slot
 			rs.pendingSpecify = false
 		}
 		return true
@@ -334,7 +664,7 @@ func (rs *runState) dispatchOne(sm *smState) bool {
 }
 
 func (rs *runState) wake(ref warpRef, at int64) {
-	sm := rs.sms[ref.tb.sm]
+	sm := &rs.sms[rs.tbs[ref.slot].sm]
 	if at <= rs.cycle {
 		sm.pushReady(ref)
 		return
@@ -343,12 +673,19 @@ func (rs *runState) wake(ref warpRef, at int64) {
 }
 
 func (rs *runState) issue(sm *smState, ref warpRef) {
-	w := &ref.tb.warps[ref.w]
-	ev, ok := w.stream.Next(rs.addrs[:])
+	tb := &rs.tbs[ref.slot]
+	w := &tb.warps[ref.w]
+	var ev trace.Event
+	var ok bool
+	if w.stream == nil {
+		ev, ok = w.synth.Next(rs.addrs[:])
+	} else {
+		ev, ok = w.stream.Next(rs.addrs[:])
+	}
 	if !ok {
 		// Streams end exactly at EXIT; a bare end is treated as an exit to
 		// stay robust against hand-built traces.
-		rs.finishWarp(ref)
+		rs.finishWarp(tb, ref.w)
 		return
 	}
 	sm.warpInsts++
@@ -369,9 +706,8 @@ func (rs *runState) issue(sm *smState, ref warpRef) {
 
 	switch ev.Op {
 	case isa.OpEXIT:
-		rs.finishWarp(ref)
+		rs.finishWarp(tb, ref.w)
 	case isa.OpBAR:
-		tb := ref.tb
 		tb.barArrived++
 		if tb.barArrived >= tb.live {
 			rs.releaseBarrier(tb)
@@ -393,30 +729,25 @@ func (rs *runState) issue(sm *smState, ref warpRef) {
 		}
 		rs.wake(ref, done)
 	default:
-		lat := int64(rs.sim.cfg.Lat.Of(ev.Op))
-		if lat < 1 {
-			lat = 1
-		}
-		rs.wake(ref, rs.cycle+lat)
+		rs.wake(ref, rs.cycle+rs.latTab[ev.Op])
 	}
 }
 
 func (rs *runState) releaseBarrier(tb *tbState) {
 	lat := int64(rs.sim.cfg.Lat.BAR)
 	for _, wi := range tb.barWaiting {
-		rs.wake(warpRef{tb: tb, w: wi}, rs.cycle+lat)
+		rs.wake(warpRef{slot: tb.slot, w: wi}, rs.cycle+lat)
 	}
 	tb.barWaiting = tb.barWaiting[:0]
 	tb.barArrived = 0
 }
 
-func (rs *runState) finishWarp(ref warpRef) {
-	w := &ref.tb.warps[ref.w]
+func (rs *runState) finishWarp(tb *tbState, wi int32) {
+	w := &tb.warps[wi]
 	if w.done {
 		return
 	}
 	w.done = true
-	tb := ref.tb
 	tb.live--
 	// Warps parked at a barrier can be released by the last non-parked warp
 	// exiting (degenerate kernels only; well-formed kernels barrier before
@@ -431,7 +762,7 @@ func (rs *runState) finishWarp(ref warpRef) {
 
 func (rs *runState) retireTB(tb *tbState) {
 	h := rs.hooks()
-	sm := rs.sms[tb.sm]
+	sm := &rs.sms[tb.sm]
 	sm.resident--
 	rs.liveTBs--
 	rs.res.SimulatedTBs++
@@ -439,9 +770,10 @@ func (rs *runState) retireTB(tb *tbState) {
 	if h.OnTBRetire != nil {
 		h.OnTBRetire(tb.id, tb.sm, retireCycle)
 	}
-	if rs.specified == tb {
+	if rs.specified == tb.slot {
 		rs.closeUnit(retireCycle, tb.id)
 	}
+	rs.free = append(rs.free, tb.slot)
 	rs.dispatchOne(sm)
 }
 
@@ -459,7 +791,7 @@ func (rs *runState) closeUnit(cycle int64, tbID int) {
 	}
 	rs.unitStart = cycle
 	rs.unitStartInsts = rs.totalIssued
-	rs.specified = nil
+	rs.specified = -1
 	rs.pendingSpecify = true
 }
 

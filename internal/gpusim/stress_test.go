@@ -125,14 +125,16 @@ func TestWakeHeapProperty(t *testing.T) {
 		prev := int64(-1)
 		for len(h) > 0 {
 			top, ok := h.peek()
-			if !ok {
+			if !ok || top < prev {
 				return false
 			}
-			e := h.pop()
-			if e.cycle != top || e.cycle < prev {
+			if _, ok := h.popDue(top - 1); ok {
+				return false // must not pop before its wake cycle
+			}
+			if _, ok := h.popDue(top); !ok {
 				return false
 			}
-			prev = e.cycle
+			prev = top
 		}
 		return true
 	}
@@ -144,7 +146,7 @@ func TestWakeHeapProperty(t *testing.T) {
 func TestReadyQueueCompaction(t *testing.T) {
 	sm := &smState{}
 	// Push and pop enough entries to trigger compaction.
-	for i := 0; i < 3000; i++ {
+	for i := int32(0); i < 3000; i++ {
 		sm.pushReady(warpRef{w: i})
 		got, ok := sm.popReady()
 		if !ok || got.w != i {

@@ -54,6 +54,7 @@ func (b *Builder) Build() *Program {
 	if err := b.p.Validate(); err != nil {
 		panic("isa: invalid program " + b.p.Name + ": " + err.Error())
 	}
+	b.p.loopIdx = b.p.buildLoopIndex()
 	return &b.p
 }
 

@@ -14,40 +14,60 @@ type DynInstr struct {
 
 // Cursor walks the dynamic instruction stream of one warp executing a
 // program with fixed loop trip counts. It holds no per-instruction
-// allocations, so large launches can be expanded lazily.
+// allocations, and Init lets callers embed it by value, so large launches
+// can be expanded lazily with one allocation per warp stream (or none).
 type Cursor struct {
-	p     *Program
-	trips []int64 // effective per-block trip counts
+	p      *Program
+	raw    []int   // caller's per-loop trip parameters (read-only, not owned)
+	loopOf []int   // block index -> loop index or -1 (shared, read-only)
+	instrs []Instr // current block's instructions (cached from p)
 
 	block int // current block index
 	instr int // next instruction index within block
 	iter  int // current iteration of the enclosing loop (0-based)
-
-	loopOf  []int // block index -> loop index or -1
-	done    bool
-	started bool
+	done  bool
 }
 
 // NewCursor returns a cursor at the first instruction. The program must be
 // valid (see Program.Validate); behaviour is undefined otherwise.
 func NewCursor(p *Program, trips []int) *Cursor {
-	c := &Cursor{p: p, trips: p.blockTrips(trips)}
-	c.loopOf = make([]int, len(p.Blocks))
-	for i := range c.loopOf {
-		c.loopOf[i] = -1
-	}
-	for li, l := range p.Loops {
-		for b := l.Begin; b < l.End; b++ {
-			c.loopOf[b] = li
-		}
-	}
-	c.skipDeadBlocks()
+	c := &Cursor{}
+	c.Init(p, trips)
 	return c
+}
+
+// Init resets the cursor to the first instruction of p with the given trip
+// counts, reusing the receiver's storage. trips is retained (not copied)
+// and must not be mutated while the cursor is in use.
+func (c *Cursor) Init(p *Program, trips []int) {
+	c.p = p
+	c.raw = trips
+	c.loopOf = p.loopIndex()
+	c.block, c.instr, c.iter = 0, 0, 0
+	c.done = false
+	c.skipDeadBlocks()
+}
+
+// trip returns the effective trip count of block b: 1 outside loops, the
+// clamped trip parameter inside (matching Program.blockTrips).
+func (c *Cursor) trip(b int) int {
+	li := c.loopOf[b]
+	if li < 0 {
+		return 1
+	}
+	t := 1
+	if tp := c.p.Loops[li].TripParam; tp < len(c.raw) {
+		t = c.raw[tp]
+	}
+	if t < 0 {
+		t = 0
+	}
+	return t
 }
 
 // skipDeadBlocks advances past blocks whose trip count is zero.
 func (c *Cursor) skipDeadBlocks() {
-	for c.block < len(c.p.Blocks) && c.trips[c.block] == 0 {
+	for c.block < len(c.p.Blocks) && c.trip(c.block) == 0 {
 		// Zero-trip loop: skip the whole body.
 		if li := c.loopOf[c.block]; li >= 0 {
 			c.block = c.p.Loops[li].End
@@ -58,7 +78,10 @@ func (c *Cursor) skipDeadBlocks() {
 	}
 	if c.block >= len(c.p.Blocks) {
 		c.done = true
+		c.instrs = nil
+		return
 	}
+	c.instrs = c.p.Blocks[c.block].Instrs
 }
 
 // Next yields the next dynamic instruction. It returns ok == false once the
@@ -67,25 +90,24 @@ func (c *Cursor) Next() (d DynInstr, ok bool) {
 	if c.done {
 		return DynInstr{}, false
 	}
-	b := &c.p.Blocks[c.block]
-	d = DynInstr{Instr: b.Instrs[c.instr], Block: c.block, Iter: c.iter}
+	d = DynInstr{Instr: c.instrs[c.instr], Block: c.block, Iter: c.iter}
 	c.advance()
 	return d, true
 }
 
 func (c *Cursor) advance() {
-	b := &c.p.Blocks[c.block]
 	c.instr++
-	if c.instr < len(b.Instrs) {
+	if c.instr < len(c.instrs) {
 		return
 	}
 	c.instr = 0
 	li := c.loopOf[c.block]
 	if li >= 0 && c.block == c.p.Loops[li].End-1 {
 		// End of a loop body: either iterate or fall through.
-		if int64(c.iter+1) < c.trips[c.block] {
+		if c.iter+1 < c.trip(c.block) {
 			c.iter++
 			c.block = c.p.Loops[li].Begin
+			c.instrs = c.p.Blocks[c.block].Instrs
 			return
 		}
 		c.iter = 0

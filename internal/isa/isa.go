@@ -108,6 +108,34 @@ type Program struct {
 	Name   string
 	Blocks []Block
 	Loops  []Loop
+
+	// loopIdx caches block index -> loop index (-1 outside loops). It is
+	// filled by Builder.Build; cursors over hand-literal Programs compute
+	// it per Init instead (loopIndex), so a nil value is always safe.
+	loopIdx []int
+}
+
+// loopIndex returns the block -> loop mapping, using the Build-time cache
+// when present. The uncached path computes a fresh slice so that literal
+// Programs stay safe under concurrent cursor creation.
+func (p *Program) loopIndex() []int {
+	if p.loopIdx != nil {
+		return p.loopIdx
+	}
+	return p.buildLoopIndex()
+}
+
+func (p *Program) buildLoopIndex() []int {
+	lo := make([]int, len(p.Blocks))
+	for i := range lo {
+		lo[i] = -1
+	}
+	for li, l := range p.Loops {
+		for b := l.Begin; b < l.End; b++ {
+			lo[b] = li
+		}
+	}
+	return lo
 }
 
 // Validate checks structural invariants: at least one block, every block

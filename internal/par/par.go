@@ -1,0 +1,114 @@
+// Package par provides the process-wide worker budget the harness uses to
+// fan independent simulations out over CPUs.
+//
+// Every parallel loop in the repository — benchmark grids in
+// internal/experiments, per-launch full-app simulation, the representative
+// simulations inside core.Retarget — draws extra workers from one shared
+// budget instead of each spawning its own pool. Nested fan-outs therefore
+// never multiply: a benchmark grid running B cells that each simulate L
+// launches uses at most Limit goroutines in total, not B*L.
+//
+// The scheme is caller-runs: ForEach always executes work on the calling
+// goroutine, and only *extra* workers consume budget tokens. A caller is
+// either the user's goroutine or an extra that already holds a token, so
+// total concurrency never exceeds Limit, and with Limit 1 every loop in the
+// process degrades to plain sequential in-index-order execution — which is
+// what the determinism tests pin against.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	mu   sync.Mutex
+	lim  int // 0 => GOMAXPROCS
+	used int // extra workers currently running
+)
+
+// SetLimit sets the shared worker budget. Zero (the default) means
+// GOMAXPROCS; one disables parallelism entirely. Loops already in flight
+// keep the workers they hold, but acquire no new ones beyond the new limit.
+func SetLimit(n int) {
+	mu.Lock()
+	lim = n
+	mu.Unlock()
+}
+
+// Limit reports the effective budget (GOMAXPROCS when unset).
+func Limit() int {
+	mu.Lock()
+	defer mu.Unlock()
+	return effLimit()
+}
+
+func effLimit() int {
+	if lim > 0 {
+		return lim
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// tryAcquire reserves one extra-worker token; the caller's own goroutine is
+// budget-free, so a limit of L admits L-1 extras.
+func tryAcquire() bool {
+	mu.Lock()
+	defer mu.Unlock()
+	if used >= effLimit()-1 {
+		return false
+	}
+	used++
+	return true
+}
+
+func release() {
+	mu.Lock()
+	used--
+	mu.Unlock()
+}
+
+// ForEach runs fn(i) for every i in [0, n), fanning out over the shared
+// worker budget. It always runs work on the calling goroutine and never
+// blocks waiting for budget: if no extra workers are available the loop is
+// simply sequential. All indices are attempted even after a failure (so
+// result slices are fully populated and no goroutine leaks), and the
+// returned error is the one from the LOWEST failing index — deterministic
+// regardless of worker interleaving.
+func ForEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if n == 1 {
+		return fn(0)
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			errs[i] = fn(i)
+		}
+	}
+	var wg sync.WaitGroup
+	for k := 1; k < n && tryAcquire(); k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer release()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func withLimit(t *testing.T, n int) {
+	t.Helper()
+	SetLimit(n)
+	t.Cleanup(func() { SetLimit(0) })
+}
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, limit := range []int{1, 2, 8} {
+		withLimit(t, limit)
+		var hits [100]atomic.Int32
+		if err := ForEach(len(hits), func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("limit %d: index %d ran %d times", limit, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachLowestIndexError(t *testing.T) {
+	// Error at index 3 must win over the error at index 7, no matter which
+	// worker hits which index first.
+	for _, limit := range []int{1, 4} {
+		withLimit(t, limit)
+		for trial := 0; trial < 20; trial++ {
+			err := ForEach(10, func(i int) error {
+				if i == 3 || i == 7 {
+					return fmt.Errorf("fail-%d", i)
+				}
+				return nil
+			})
+			if err == nil || err.Error() != "fail-3" {
+				t.Fatalf("limit %d: got %v, want fail-3", limit, err)
+			}
+		}
+	}
+}
+
+func TestForEachContinuesAfterError(t *testing.T) {
+	withLimit(t, 1)
+	var ran atomic.Int32
+	err := ForEach(5, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return fmt.Errorf("early")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	if got := ran.Load(); got != 5 {
+		t.Fatalf("ran %d of 5 after early error", got)
+	}
+}
+
+func TestForEachSequentialOrderAtLimitOne(t *testing.T) {
+	withLimit(t, 1)
+	var order []int
+	if err := ForEach(6, func(i int) error {
+		order = append(order, i) // safe: limit 1 is caller-runs only
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("order %v not sequential", order)
+		}
+	}
+}
+
+func TestSharedBudgetBoundsNestedFanOut(t *testing.T) {
+	withLimit(t, 4)
+	var cur, peak atomic.Int32
+	enter := func() {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+	}
+	err := ForEach(8, func(i int) error {
+		return ForEach(8, func(j int) error {
+			enter()
+			defer cur.Add(-1)
+			runtime.Gosched()
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 4 {
+		t.Fatalf("nested fan-out reached %d concurrent workers, budget 4", p)
+	}
+}
+
+func TestLimitDefaultsToGOMAXPROCS(t *testing.T) {
+	SetLimit(0)
+	if got := Limit(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Limit() = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	withLimit(t, 3)
+	if got := Limit(); got != 3 {
+		t.Fatalf("Limit() = %d, want 3", got)
+	}
+}

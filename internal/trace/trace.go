@@ -105,34 +105,51 @@ func (s *Synthetic) WarpsPerBlock() int { return s.Launch.Kernel.WarpsPerBlock()
 
 // WarpStream implements Provider.
 func (s *Synthetic) WarpStream(tb, w int) Stream {
+	// One allocation per stream: the cursor and RNG are embedded by value
+	// (a launch opens one stream per warp, so per-stream allocations are a
+	// measurable share of simulation time). Callers that manage their own
+	// storage can avoid even that via InitStream.
+	st := new(SynthStream)
+	s.InitStream(st, tb, w)
+	return st
+}
+
+// InitStream resets a caller-owned SynthStream to warp w of thread block
+// tb, reusing its storage. The timing simulator embeds SynthStream by value
+// in per-warp state and calls Next non-virtually, which removes both the
+// per-stream allocation and the per-instruction interface dispatch from the
+// simulation hot path.
+func (s *Synthetic) InitStream(st *SynthStream, tb, w int) {
 	p := &s.Launch.Params[tb]
 	af := p.ActiveFrac
 	if af <= 0 || af > 1 {
 		af = 1
 	}
-	return &synthStream{
-		cur:  isa.NewCursor(s.Launch.Kernel.Program, p.Trips),
-		cfg:  s.Addr,
-		tb:   uint64(tb),
-		warp: uint64(w),
-		af:   af,
-		rng:  stats.NewRNG(p.Seed ^ (uint64(w)+1)*0x9e3779b97f4a7c15),
-	}
+	st.cfg = s.Addr
+	st.strideOff = uint64(tb)*s.Addr.TBFootprintB + uint64(w)*s.Addr.WarpFootprintB
+	st.af = af
+	st.cur.Init(s.Launch.Kernel.Program, p.Trips)
+	st.rng.Seed(p.Seed ^ (uint64(w)+1)*0x9e3779b97f4a7c15)
 }
 
-type synthStream struct {
-	cur  *isa.Cursor
-	cfg  AddrConfig
-	tb   uint64
-	warp uint64
-	af   float64
-	rng  *stats.RNG
+// SynthStream is the concrete stream type produced by Synthetic. It is
+// exported so hot callers can embed it by value (see InitStream).
+type SynthStream struct {
+	cur isa.Cursor
+	cfg AddrConfig
+	// strideOff is the warp's fixed offset within a region for strided
+	// accesses (tb*TBFootprintB + warp*WarpFootprintB), precomputed so the
+	// per-instruction address math is add-only.
+	strideOff uint64
+	af        float64
+	rng       stats.RNG
 }
 
 // regionBase gives each region a disjoint 1TB address window.
 func regionBase(region uint8) uint64 { return uint64(region) << 40 }
 
-func (st *synthStream) Next(addrs []uint64) (Event, bool) {
+// Next implements Stream.
+func (st *SynthStream) Next(addrs []uint64) (Event, bool) {
 	d, ok := st.cur.Next()
 	if !ok {
 		return Event{}, false
@@ -141,7 +158,20 @@ func (st *synthStream) Next(addrs []uint64) (Event, bool) {
 	if !d.Op.IsMem() {
 		return ev, true
 	}
-	n := isa.RequestsPerAccess(d.Coalesce, st.af)
+	var n int
+	if st.af == 1 {
+		// Fully active warp: the request count is just the clamped
+		// coalescing degree, no float arithmetic needed (RequestsPerAccess
+		// reduces to this for activeFrac == 1).
+		n = int(d.Coalesce)
+		if n < 1 {
+			n = 1
+		} else if n > 32 {
+			n = 32
+		}
+	} else {
+		n = isa.RequestsPerAccess(d.Coalesce, st.af)
+	}
 	if n > MaxRequests {
 		n = MaxRequests
 	}
@@ -160,9 +190,7 @@ func (st *synthStream) Next(addrs []uint64) (Event, bool) {
 	}
 	// Strided access: the stream position is the loop iteration, so address
 	// generation stays stateless and cheap.
-	base := regionBase(d.Region) +
-		st.tb*st.cfg.TBFootprintB +
-		st.warp*st.cfg.WarpFootprintB
+	base := regionBase(d.Region) + st.strideOff
 	stride := uint64(int64(d.StrideB))
 	off := uint64(d.Iter) * stride
 	for i := 0; i < n; i++ {

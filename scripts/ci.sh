@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# ci.sh — the repository's check suite: vet, build, full tests, and a
+# race-detector pass over the packages that run simulations concurrently
+# (the shared worker budget fans launches and benchmark cells out over
+# goroutines; see DESIGN.md "Performance architecture").
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race (concurrent packages)"
+go test -race ./internal/gpusim/ ./internal/experiments/ ./internal/core/ ./internal/par/
+
+echo "CI OK"
