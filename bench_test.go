@@ -207,6 +207,27 @@ func BenchmarkRunLaunchEventLoop(b *testing.B) {
 	}
 }
 
+// BenchmarkRunLaunchEventLoopMetrics is BenchmarkRunLaunchEventLoop with a
+// live metrics collector, quantifying the enabled cost of the observability
+// layer on the scheduler-bound hot path (the disabled cost is the delta
+// between BenchmarkRunLaunchEventLoop before and after internal/metrics
+// landed; BENCH_gpusim.json records both).
+func BenchmarkRunLaunchEventLoopMetrics(b *testing.B) {
+	app := tbpoint.MustBenchmark("black", 0.05)
+	sim := tbpoint.MustNewSimulator(tbpoint.DefaultSimConfig())
+	l := app.Launches[0]
+	mc := tbpoint.NewCollector()
+	var insts int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		insts += sim.RunLaunch(l, tbpoint.RunOptions{Metrics: mc}).SimulatedWarpInsts
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(insts)/secs, "warpinsts/s")
+	}
+}
+
 // BenchmarkMemSystem stresses the memory hierarchy: stream misses both
 // cache levels on nearly every access, so the bounded MSHR table, the
 // L1/L2 lookups and the DRAM bank model dominate the run.

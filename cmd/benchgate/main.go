@@ -1,0 +1,81 @@
+// Command benchgate is the CI throughput-regression gate: it re-measures
+// the simulator on the standard BENCH_gpusim.json cases and compares the
+// fresh warpinsts/s against the checked-in numbers. A case that drops more
+// than the threshold (default 20%) is flagged.
+//
+// Throughput on shared CI runners is noisy, so the gate is advisory by
+// default: regressions are reported but the exit status stays 0. Run with
+// -hard locally (where the machine matches the one that recorded the
+// artifact) to turn regressions into a non-zero exit.
+//
+// Usage:
+//
+//	benchgate [-file BENCH_gpusim.json] [-threshold 0.20]
+//	          [-min-duration 500ms] [-hard]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"tbpoint/internal/experiments"
+)
+
+func main() {
+	file := flag.String("file", "BENCH_gpusim.json", "checked-in throughput report to compare against")
+	threshold := flag.Float64("threshold", 0.20, "maximum tolerated fractional warpinsts/s drop")
+	minDuration := flag.Duration("min-duration", 500*time.Millisecond, "minimum measurement time per case")
+	hard := flag.Bool("hard", false, "exit non-zero on regression (default: advisory warning only)")
+	flag.Parse()
+
+	fail := func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
+		os.Exit(1)
+	}
+
+	f, err := os.Open(*file)
+	if err != nil {
+		fail("%v", err)
+	}
+	var rep experiments.ThroughputReport
+	err = json.NewDecoder(f).Decode(&rep)
+	f.Close()
+	if err != nil {
+		fail("decoding %s: %v", *file, err)
+	}
+	recorded := map[string]float64{}
+	for _, r := range rep.Current {
+		recorded[r.Case] = r.WarpInstsPS
+	}
+	if len(recorded) == 0 {
+		fail("%s has no recorded cases", *file)
+	}
+
+	fresh := experiments.MeasureThroughput(*minDuration)
+	regressions := 0
+	for _, r := range fresh {
+		base, ok := recorded[r.Case]
+		if !ok || base <= 0 {
+			fmt.Printf("benchgate: %-24s %12.0f warpinsts/s (no recorded baseline)\n", r.Case, r.WarpInstsPS)
+			continue
+		}
+		ratio := r.WarpInstsPS / base
+		status := "ok"
+		if ratio < 1-*threshold {
+			status = "REGRESSION"
+			regressions++
+		}
+		fmt.Printf("benchgate: %-24s %12.0f warpinsts/s  recorded %12.0f  ratio %.2f  %s\n",
+			r.Case, r.WarpInstsPS, base, ratio, status)
+	}
+	if regressions > 0 {
+		msg := fmt.Sprintf("%d case(s) dropped more than %.0f%% below %s", regressions, *threshold*100, *file)
+		if *hard {
+			fail("%s", msg)
+		}
+		fmt.Printf("benchgate: WARNING (advisory): %s — rerun with -hard on the reference machine to enforce\n", msg)
+	}
+}

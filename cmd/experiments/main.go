@@ -19,6 +19,8 @@ import (
 	"time"
 
 	"tbpoint/internal/experiments"
+	"tbpoint/internal/metrics"
+	"tbpoint/internal/par"
 )
 
 func main() {
@@ -27,13 +29,14 @@ func main() {
 	bench := flag.String("bench", "", "comma-separated benchmark subset (default: all 12)")
 	samples := flag.Int("samples", 10000, "Monte-Carlo samples for fig5")
 	verbose := flag.Bool("v", false, "progress output")
-	par := flag.Int("par", 0, "shared worker budget for independent simulations (0 = GOMAXPROCS, 1 = sequential)")
+	parN := flag.Int("par", 0, "shared worker budget for independent simulations (0 = GOMAXPROCS, 1 = sequential)")
 	jsonPath := flag.String("json", "", "also write results as JSON to this file")
+	metricsJSON := flag.String("metrics-json", "", "collect observability metrics and write the snapshot as JSON to this file ('-' = stdout)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	benchJSON := flag.String("bench-json", "", "measure simulator throughput and write BENCH-style JSON to this file (no target needed)")
 	flag.Parse()
-	experiments.Parallelism = *par
+	experiments.Parallelism = *parN
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -94,6 +97,12 @@ func main() {
 	if *bench != "" {
 		opts.Benchmarks = strings.Split(*bench, ",")
 	}
+	var mc *metrics.Collector
+	if *metricsJSON != "" {
+		mc = metrics.New()
+		opts.Metrics = mc
+		par.ResetStats()
+	}
 
 	want := map[string]bool{}
 	for _, t := range targets {
@@ -117,7 +126,9 @@ func main() {
 	bundle := &experiments.Results{Scale: opts.Scale, Seed: opts.Seed}
 
 	if want["table6"] {
+		sw := mc.StartPhase("target.table6")
 		rows, err := experiments.RunTable6(opts)
+		sw.Stop()
 		if err != nil {
 			fail(err)
 		}
@@ -125,7 +136,9 @@ func main() {
 		bundle.Table6 = rows
 	}
 	if want["table1"] {
-		t1 := experiments.RunTable1PerKernel(clampScale(opts.Scale, 0.05))
+		sw := mc.StartPhase("target.table1")
+		t1 := experiments.RunTable1PerKernelMetrics(clampScale(opts.Scale, 0.05), mc)
+		sw.Stop()
 		experiments.PrintTable1(w, t1)
 		bundle.Table1 = t1
 	}
@@ -135,7 +148,9 @@ func main() {
 		bundle.Fig5 = f5
 	}
 	if want["fig8"] {
+		sw := mc.StartPhase("target.fig8")
 		series, err := experiments.RunFig8([]string{"conv", "mst"}, opts)
+		sw.Stop()
 		if err != nil {
 			fail(err)
 		}
@@ -143,7 +158,9 @@ func main() {
 		bundle.Fig8 = series
 	}
 	if want["ablations"] {
+		sw := mc.StartPhase("target.ablations")
 		results, err := experiments.RunAblations(opts)
+		sw.Stop()
 		if err != nil {
 			fail(err)
 		}
@@ -151,7 +168,9 @@ func main() {
 		bundle.Ablations = results
 	}
 	if want["motivation"] {
+		sw := mc.StartPhase("target.motivation")
 		results, err := experiments.RunMotivation(opts)
+		sw.Stop()
 		if err != nil {
 			fail(err)
 		}
@@ -159,7 +178,9 @@ func main() {
 		bundle.Motivation = results
 	}
 	if want["accuracy"] {
+		sw := mc.StartPhase("target.accuracy")
 		results, err := experiments.RunAccuracyParallel(opts)
+		sw.Stop()
 		if err != nil {
 			fail(err)
 		}
@@ -175,13 +196,40 @@ func main() {
 		bundle.Accuracy = results
 	}
 	if want["sensitivity"] {
+		sw := mc.StartPhase("target.sensitivity")
 		results, err := experiments.RunSensitivityParallel(opts)
+		sw.Stop()
 		if err != nil {
 			fail(err)
 		}
 		experiments.PrintFig12(w, results)
 		experiments.PrintFig13(w, results)
 		bundle.Sensitivity = results
+	}
+
+	if mc != nil {
+		par.StatsInto(mc)
+		snap := mc.Snapshot()
+		bundle.Phases = snap.Phases
+		bundle.Metrics = &snap
+		if *metricsJSON == "-" {
+			if err := snap.WriteJSON(os.Stdout); err != nil {
+				fail(err)
+			}
+		} else {
+			f, err := os.Create(*metricsJSON)
+			if err != nil {
+				fail(err)
+			}
+			if err := snap.WriteJSON(f); err != nil {
+				f.Close()
+				fail(err)
+			}
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+		}
+		snap.WriteText(os.Stdout)
 	}
 
 	if *jsonPath != "" {

@@ -40,6 +40,8 @@ func main() {
 	loadProfile := flag.String("load-profile", "", "reuse a one-time profile from this file instead of re-profiling")
 	dumpRegions := flag.String("dump-regions", "", "write each representative launch's region table (Table III) to <file>.<launch>.json")
 	list := flag.Bool("list", false, "list available benchmarks and exit")
+	metricsJSON := flag.String("metrics-json", "", "collect observability metrics and write the snapshot as JSON to this file ('-' = stdout)")
+	showMetrics := flag.Bool("metrics", false, "collect observability metrics and print the summary table")
 	flag.Parse()
 
 	if *list {
@@ -73,6 +75,11 @@ func main() {
 	opts.SigmaInter = *sigmaInter
 	opts.SigmaIntra = *sigmaIntra
 	opts.VarFactor = *vf
+	var mc *tbpoint.Collector
+	if *metricsJSON != "" || *showMetrics {
+		mc = tbpoint.NewCollector()
+		opts.Metrics = mc
+	}
 
 	fmt.Printf("%s @ scale %g on %s: %d launches, %d thread blocks, %d warp insts\n",
 		app.Name, *scale, cfg.Name(), len(app.Launches), app.TotalBlocks(), app.TotalWarpInsts())
@@ -90,7 +97,7 @@ func main() {
 		}
 		fmt.Printf("reusing one-time profile from %s\n", *loadProfile)
 	} else {
-		prof = tbpoint.Profile(app)
+		prof = tbpoint.ProfileMetrics(app, mc)
 	}
 	if *saveProfile != "" {
 		f, err := os.Create(*saveProfile)
@@ -134,7 +141,7 @@ func main() {
 		printRegions(res)
 	}
 
-	full := tbpoint.FullSimulation(sim, app, unitFor(app.TotalWarpInsts()))
+	full := tbpoint.FullSimulationMetrics(sim, app, unitFor(app.TotalWarpInsts()), mc)
 	est := res.Estimate
 	fmt.Printf("\n%-16s %10s %10s %10s\n", "technique", "IPC", "error", "sample")
 	fmt.Printf("%-16s %10.3f %10s %10s\n", "Full", full.IPC(), "-", "100%")
@@ -152,6 +159,32 @@ func main() {
 		est.InterFraction()*100, (1-est.InterFraction())*100)
 	if est.Error(full) > 0.15 {
 		fmt.Fprintln(os.Stderr, "warning: sampling error above 15%; consider tighter thresholds")
+	}
+
+	if mc != nil {
+		snap := mc.Snapshot()
+		if *metricsJSON == "-" {
+			if err := snap.WriteJSON(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+		} else if *metricsJSON != "" {
+			f, err := os.Create(*metricsJSON)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := snap.WriteJSON(f); err != nil {
+				f.Close()
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("\nmetrics snapshot written to %s\n", *metricsJSON)
+		}
+		if *showMetrics {
+			fmt.Println()
+			snap.WriteText(os.Stdout)
+		}
 	}
 }
 

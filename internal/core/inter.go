@@ -8,6 +8,7 @@ import (
 	"tbpoint/internal/cluster"
 	"tbpoint/internal/funcsim"
 	"tbpoint/internal/kernel"
+	"tbpoint/internal/metrics"
 )
 
 // InterFeatures builds the Eq. 2 inter-launch feature vector of each
@@ -120,5 +121,12 @@ type AppProfile struct {
 
 // ProfileApp performs the one-time profiling pass (the GPUOcelot step).
 func ProfileApp(app *kernel.App) *AppProfile {
+	return ProfileAppMetrics(app, nil)
+}
+
+// ProfileAppMetrics is ProfileApp with the pass's wall time recorded as the
+// core.profile phase of mc (nil mc behaves exactly like ProfileApp).
+func ProfileAppMetrics(app *kernel.App, mc *metrics.Collector) *AppProfile {
+	defer mc.StartPhase("core.profile").Stop()
 	return &AppProfile{App: app, Profiles: funcsim.ProfileApp(app)}
 }

@@ -271,7 +271,7 @@ func SampleLaunch(sim *gpusim.Simulator, l *kernel.Launch, lp *funcsim.LaunchPro
 		OnTBRetire:   func(tb, sm int, cycle int64) { rs.onRetire(tb) },
 		OnUnitClose:  rs.onUnitClose,
 	}
-	res := sim.RunLaunch(l, gpusim.RunOptions{Hooks: hooks})
+	res := sim.RunLaunch(l, gpusim.RunOptions{Hooks: hooks, Metrics: opts.Metrics})
 
 	ls := &LaunchSample{
 		Result:          res,

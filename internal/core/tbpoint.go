@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tbpoint/internal/gpusim"
+	"tbpoint/internal/metrics"
 	"tbpoint/internal/par"
 	"tbpoint/internal/sampling"
 )
@@ -45,6 +46,15 @@ type Options struct {
 	// drift bias barely matters); long regions are exactly where a drift
 	// bias multiplies into a large error.
 	WarmWindowMinRegion int
+	// Metrics, when non-nil, receives the pipeline's observability data:
+	// per-phase wall time (core.inter_cluster, core.region_sampling,
+	// core.predict), pipeline counters (launches, clusters, regions,
+	// warming units, simulated vs skipped instructions) and every
+	// representative simulation's gpusim counters. Representative
+	// simulations running in parallel each record into a private collector
+	// that is merged in deterministic (representative) order afterwards, so
+	// the counter totals are independent of worker interleaving.
+	Metrics *metrics.Collector
 }
 
 // DefaultOptions returns the paper's configuration (plus WarmWindow = 4,
@@ -101,12 +111,15 @@ func runWithInter(sim *gpusim.Simulator, prof *AppProfile, inter *InterResult, o
 		return nil, fmt.Errorf("core: profile/launch count mismatch (%d vs %d)",
 			len(prof.Profiles), len(prof.App.Launches))
 	}
+	mc := opts.Metrics
 	if inter == nil {
+		sw := mc.StartPhase("core.inter_cluster")
 		if opts.InterBBV {
 			inter = InterLaunchBBV(prof.Profiles, opts.SigmaInter)
 		} else {
 			inter = InterLaunch(prof.Profiles, opts.SigmaInter)
 		}
+		sw.Stop()
 	}
 	res := &Result{
 		Inter:   inter,
@@ -122,20 +135,51 @@ func runWithInter(sim *gpusim.Simulator, prof *AppProfile, inter *InterResult, o
 	reps := res.Inter.RepLaunches()
 	tables := make([]*RegionTable, len(reps))
 	samples := make([]*LaunchSample, len(reps))
+	// Each representative records into a private collector; merging in rep
+	// order after the join keeps the totals worker-interleaving-independent.
+	var mcs []*metrics.Collector
+	if mc != nil {
+		mcs = make([]*metrics.Collector, len(reps))
+		for i := range mcs {
+			mcs[i] = metrics.New()
+		}
+	}
+	sw := mc.StartPhase("core.region_sampling")
 	par.ForEach(len(reps), func(i int) error {
 		rep := reps[i]
 		l := prof.App.Launches[rep]
 		occ := cfg.Limits.SystemOccupancy(l.Kernel, cfg.NumSMs)
 		rt := IdentifyRegions(prof.Profiles[rep], occ, opts.SigmaIntra, opts.VarFactor)
 		tables[i] = rt
-		samples[i] = SampleLaunch(sim, l, prof.Profiles[rep], rt, opts)
+		ropts := opts
+		if mcs != nil {
+			ropts.Metrics = mcs[i]
+		}
+		samples[i] = SampleLaunch(sim, l, prof.Profiles[rep], rt, ropts)
 		return nil
 	})
+	sw.Stop()
 	for i, rep := range reps {
 		res.Tables[rep] = tables[i]
 		res.Samples[rep] = samples[i]
 	}
+	if mc != nil {
+		for _, c := range mcs {
+			mc.Merge(c)
+		}
+		mc.Add(metrics.CoreLaunches, uint64(len(prof.App.Launches)))
+		mc.Add(metrics.CoreClusters, uint64(res.Inter.NumClusters))
+		mc.Add(metrics.CoreRepLaunches, uint64(len(reps)))
+		for i := range reps {
+			mc.Add(metrics.CoreRegions, uint64(tables[i].NumRegions))
+			mc.Add(metrics.CoreWarmUnits, uint64(samples[i].WarmUnits))
+			mc.Add(metrics.CoreSimulatedInsts, uint64(samples[i].SimulatedInsts))
+			mc.Add(metrics.CoreSkippedInsts, uint64(samples[i].SkippedInsts))
+		}
+	}
 
+	swp := mc.StartPhase("core.predict")
+	defer swp.Stop()
 	est := &res.Estimate
 	est.Technique = "TBPoint"
 	var totalInsts, simInsts int64

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"tbpoint/internal/gpusim"
+	"tbpoint/internal/metrics"
 	"tbpoint/internal/workloads"
 )
 
@@ -28,6 +29,11 @@ type ThroughputReport struct {
 	Baseline map[string]float64 `json:"baseline_warpinsts_per_sec"`
 	Current  []ThroughputResult `json:"current"`
 	Speedup  map[string]float64 `json:"speedup"`
+	// MetricsOverhead is the metrics-enabled / metrics-disabled throughput
+	// ratio on the eventloop-black case (1.0 = free; the internal/metrics
+	// design targets > 0.95 for the disabled collector and this field
+	// records the *enabled* cost, which subsumes it).
+	MetricsOverhead float64 `json:"metrics_overhead,omitempty"`
 }
 
 // SeedBaseline is the seed simulator's measured throughput (warpinsts/s)
@@ -47,10 +53,14 @@ func MeasureThroughput(minDuration time.Duration) []ThroughputResult {
 	cases := []struct {
 		name, bench string
 		scale       float64
+		metrics     bool
 	}{
-		{"table1-cfd", "cfd", 0.05},
-		{"membound-lbm", "lbm", 0.01},
-		{"eventloop-black", "black", 0.05},
+		{"table1-cfd", "cfd", 0.05, false},
+		{"membound-lbm", "lbm", 0.01, false},
+		{"eventloop-black", "black", 0.05, false},
+		// Same workload with a live collector: the pair quantifies the
+		// metrics layer's enabled overhead (see MetricsOverhead).
+		{"eventloop-black-metrics", "black", 0.05, true},
 	}
 	var out []ThroughputResult
 	for _, c := range cases {
@@ -64,8 +74,12 @@ func MeasureThroughput(minDuration time.Duration) []ThroughputResult {
 		var totalInsts int64
 		var totalSecs, best float64
 		for totalSecs < minDuration.Seconds() {
+			var ropts gpusim.RunOptions
+			if c.metrics {
+				ropts.Metrics = metrics.New()
+			}
 			start := time.Now()
-			insts := sim.RunLaunch(l, gpusim.RunOptions{}).SimulatedWarpInsts
+			insts := sim.RunLaunch(l, ropts).SimulatedWarpInsts
 			secs := time.Since(start).Seconds()
 			totalInsts += insts
 			totalSecs += secs
@@ -93,10 +107,15 @@ func WriteThroughputJSON(w io.Writer, minDuration time.Duration) error {
 		Current:  MeasureThroughput(minDuration),
 		Speedup:  map[string]float64{},
 	}
+	rates := map[string]float64{}
 	for _, r := range rep.Current {
+		rates[r.Case] = r.WarpInstsPS
 		if base := rep.Baseline[r.Case]; base > 0 {
 			rep.Speedup[r.Case] = r.WarpInstsPS / base
 		}
+	}
+	if off, on := rates["eventloop-black"], rates["eventloop-black-metrics"]; off > 0 && on > 0 {
+		rep.MetricsOverhead = on / off
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -18,6 +18,7 @@ import (
 	"tbpoint/internal/core"
 	"tbpoint/internal/gpusim"
 	"tbpoint/internal/kernel"
+	"tbpoint/internal/metrics"
 	"tbpoint/internal/par"
 	"tbpoint/internal/sampling"
 	"tbpoint/internal/simpoint"
@@ -49,6 +50,12 @@ type Options struct {
 	Verbose bool
 	// Out receives report text (required by the Print* helpers).
 	Out io.Writer
+	// Metrics, when non-nil, accumulates the harness's observability data:
+	// per-phase wall time (experiments.full_ref, experiments.tbpoint, plus
+	// the core.* phases) and every simulation's counters. Each benchmark
+	// records into a private collector that is merged into this one when the
+	// benchmark finishes, so parallel grids stay race-free.
+	Metrics *metrics.Collector
 }
 
 // DefaultOptions returns paper-faithful settings at the given scale.
@@ -111,19 +118,42 @@ func (o Options) progress(format string, args ...interface{}) {
 // FullApp simulates every launch of app under sim, collecting fixed units
 // (and BBVs) of the given size.
 func FullApp(sim *gpusim.Simulator, app *kernel.App, unitInsts int64) *sampling.AppRun {
+	return FullAppMetrics(sim, app, unitInsts, nil)
+}
+
+// FullAppMetrics is FullApp with the run's simulator counters and wall time
+// (phase experiments.full_ref) recorded into mc. Each launch records into a
+// private collector merged in launch order afterwards, so counter totals do
+// not depend on worker interleaving. A nil mc behaves exactly like FullApp.
+func FullAppMetrics(sim *gpusim.Simulator, app *kernel.App, unitInsts int64, mc *metrics.Collector) *sampling.AppRun {
 	// Launches are independent simulations of the same machine
 	// configuration, so they fan out over the shared worker budget; results
 	// land at their launch index, making the run identical to a sequential
 	// one (each RunLaunch is deterministic and shares no mutable state).
 	par.SetLimit(Parallelism)
+	defer mc.StartPhase("experiments.full_ref").Stop()
+	var mcs []*metrics.Collector
+	if mc != nil {
+		mcs = make([]*metrics.Collector, len(app.Launches))
+		for i := range mcs {
+			mcs[i] = metrics.New()
+		}
+	}
 	run := &sampling.AppRun{Launches: make([]*gpusim.LaunchResult, len(app.Launches))}
 	par.ForEach(len(app.Launches), func(i int) error {
-		run.Launches[i] = sim.RunLaunch(app.Launches[i], gpusim.RunOptions{
+		ropts := gpusim.RunOptions{
 			FixedUnitInsts: unitInsts,
 			CollectBBV:     true,
-		})
+		}
+		if mcs != nil {
+			ropts.Metrics = mcs[i]
+		}
+		run.Launches[i] = sim.RunLaunch(app.Launches[i], ropts)
 		return nil
 	})
+	for _, c := range mcs {
+		mc.Merge(c)
+	}
 	return run
 }
 
@@ -152,11 +182,19 @@ func RunBenchmark(spec *workloads.Spec, cfg gpusim.Config, opts Options) (*Bench
 	if err != nil {
 		return nil, err
 	}
+	// The benchmark records into a private collector merged into
+	// opts.Metrics at the end, so a parallel grid of RunBenchmark calls
+	// never writes the caller's collector concurrently.
+	var mc *metrics.Collector
+	if opts.Metrics != nil {
+		mc = metrics.New()
+		defer opts.Metrics.Merge(mc)
+	}
 	app := spec.Build(workloads.Config{Scale: opts.Scale, Seed: opts.Seed})
-	prof := core.ProfileApp(app)
+	prof := core.ProfileAppMetrics(app, mc)
 	unit := opts.unitSize(app.TotalWarpInsts())
 
-	full := FullApp(sim, app, unit)
+	full := FullAppMetrics(sim, app, unit, mc)
 	r := &BenchResult{
 		Name:           spec.Name,
 		Type:           spec.Type,
@@ -167,7 +205,11 @@ func RunBenchmark(spec *workloads.Spec, cfg gpusim.Config, opts Options) (*Bench
 	r.Random = sampling.Random(full, opts.RandomFrac, opts.Seed+0xbeef)
 	r.SimPoint = simpoint.Run(full, simpoint.DefaultOptions()).Estimate
 
-	tb, err := core.Run(sim, prof, opts.tbpointOptions())
+	tbopts := opts.tbpointOptions()
+	tbopts.Metrics = mc
+	sw := mc.StartPhase("experiments.tbpoint")
+	tb, err := core.Run(sim, prof, tbopts)
+	sw.Stop()
 	if err != nil {
 		return nil, err
 	}

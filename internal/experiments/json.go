@@ -3,6 +3,8 @@ package experiments
 import (
 	"encoding/json"
 	"io"
+
+	"tbpoint/internal/metrics"
 )
 
 // Results bundles everything a harness invocation produced, for machine
@@ -19,6 +21,12 @@ type Results struct {
 	Ablations   []AblationResult   `json:"ablations,omitempty"`
 	Accuracy    []*BenchResult     `json:"accuracy,omitempty"`
 	Sensitivity []SensResult       `json:"sensitivity,omitempty"`
+	// Phases are the per-phase wall times of the run (profiling,
+	// clustering, region sampling, prediction, full-reference simulation);
+	// Metrics is the full counter snapshot. Both are present only when the
+	// harness ran with metrics collection enabled.
+	Phases  []metrics.PhaseSnapshot `json:"phases,omitempty"`
+	Metrics *metrics.Snapshot       `json:"metrics,omitempty"`
 }
 
 // WriteJSON serialises the results with stable indentation.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"tbpoint/internal/gpusim"
+	"tbpoint/internal/metrics"
 	"tbpoint/internal/workloads"
 )
 
@@ -69,10 +70,10 @@ type Table1Row struct {
 // MeasureSimThroughput times the simulator on a calibration workload and
 // returns warp instructions simulated per second.
 func MeasureSimThroughput(scale float64) float64 {
-	return measureThroughput("cfd", scale)
+	return measureThroughput("cfd", scale, nil)
 }
 
-func measureThroughput(bench string, scale float64) float64 {
+func measureThroughput(bench string, scale float64, mc *metrics.Collector) float64 {
 	spec, err := workloads.ByName(bench)
 	if err != nil {
 		panic(err) // callers pass registry names only
@@ -82,12 +83,13 @@ func measureThroughput(bench string, scale float64) float64 {
 	var insts int64
 	start := time.Now()
 	for _, l := range app.Launches[:minInt(4, len(app.Launches))] {
-		insts += sim.RunLaunch(l, gpusim.RunOptions{}).SimulatedWarpInsts
+		insts += sim.RunLaunch(l, gpusim.RunOptions{Metrics: mc}).SimulatedWarpInsts
 	}
 	el := time.Since(start).Seconds()
 	if el <= 0 {
 		el = 1e-9
 	}
+	mc.AddPhase("experiments.table1_measure", time.Duration(el*float64(time.Second)))
 	return float64(insts) / el
 }
 
@@ -119,13 +121,20 @@ func RunTable1(simWarpInstsPerSec float64) *Table1Result {
 // proxy benchmark, so memory-bound kernels project proportionally longer
 // simulations than compute-bound ones.
 func RunTable1PerKernel(scale float64) *Table1Result {
-	cal := MeasureSimThroughput(scale)
+	return RunTable1PerKernelMetrics(scale, nil)
+}
+
+// RunTable1PerKernelMetrics is RunTable1PerKernel with each measurement
+// run's simulator counters collected into mc (nil mc disables collection).
+// The measurement loops are sequential, so one shared collector is safe.
+func RunTable1PerKernelMetrics(scale float64, mc *metrics.Collector) *Table1Result {
+	cal := measureThroughput("cfd", scale, mc)
 	res := &Table1Result{
 		SimWarpInstsPerSec: cal,
 		Slowdown:           QuadroThreadInstsPerSec / (cal * 32),
 	}
 	for _, k := range Table1Kernels() {
-		thr := measureThroughput(k.Proxy, scale)
+		thr := measureThroughput(k.Proxy, scale, mc)
 		slow := QuadroThreadInstsPerSec / (thr * 32)
 		res.Rows = append(res.Rows, Table1Row{
 			Kernel:          k,

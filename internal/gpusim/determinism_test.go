@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"tbpoint/internal/gpusim"
+	"tbpoint/internal/metrics"
 	"tbpoint/internal/workloads"
 )
 
@@ -59,6 +60,10 @@ func goldenUnitSize(total int64) int64 {
 }
 
 func runGolden(t *testing.T, row goldenRow) goldenRow {
+	return runGoldenMetrics(t, row, nil)
+}
+
+func runGoldenMetrics(t *testing.T, row goldenRow, mc *metrics.Collector) goldenRow {
 	t.Helper()
 	spec, err := workloads.ByName(row.bench)
 	if err != nil {
@@ -69,7 +74,7 @@ func runGolden(t *testing.T, row goldenRow) goldenRow {
 	got := goldenRow{config: row.config, bench: row.bench}
 	unit := goldenUnitSize(app.TotalWarpInsts())
 	for _, l := range app.Launches {
-		r := sim.RunLaunch(l, gpusim.RunOptions{FixedUnitInsts: unit, CollectBBV: true})
+		r := sim.RunLaunch(l, gpusim.RunOptions{FixedUnitInsts: unit, CollectBBV: true, Metrics: mc})
 		got.cycles += r.Cycles
 		got.insts += r.SimulatedWarpInsts
 		got.l1m += r.L1Misses
@@ -112,5 +117,50 @@ func TestRunLaunchRepeatable(t *testing.T) {
 	b := runGolden(t, row)
 	if a != b {
 		t.Errorf("two identical runs diverged:\n  %+v\n  %+v", a, b)
+	}
+}
+
+// TestMetricsCollectionIsObservationOnly pins the metrics layer's core
+// contract: a run with a live collector produces bit-identical simulation
+// results to one without, and the collector's counters agree with the
+// LaunchResult aggregates the goldens pin. mst exercises MSHR merges and
+// calendar parking; lbm is memory-bound (DRAM queueing, writebacks).
+func TestMetricsCollectionIsObservationOnly(t *testing.T) {
+	for _, row := range []goldenRow{goldenRows[1], goldenRows[3]} {
+		mc := metrics.New()
+		on := runGoldenMetrics(t, row, mc)
+		off := runGolden(t, row)
+		if on != off {
+			t.Errorf("%s/%s: metrics collection changed simulation results\n  on: %+v\n off: %+v",
+				row.config, row.bench, on, off)
+		}
+		checks := []struct {
+			name string
+			id   metrics.Counter
+			want int64
+		}{
+			{"sim.cycles", metrics.SimCycles, on.cycles},
+			{"sim.warp_insts", metrics.SimWarpInsts, on.insts},
+			{"mem.l1_misses", metrics.MemL1Misses, on.l1m},
+			{"mem.l2_misses", metrics.MemL2Misses, on.l2m},
+			{"mem.dram_accesses", metrics.MemDRAMAccesses, on.dram},
+			{"mem.dram_row_hits", metrics.MemDRAMRowHits, on.rowh},
+			{"mem.writebacks", metrics.MemWritebacks, on.wb},
+			{"mem.mshr_merges", metrics.MemMSHRMerges, on.merges},
+			{"sched.tb_dispatch", metrics.SchedTBDispatch, int64(on.tbs)},
+		}
+		for _, c := range checks {
+			if got := mc.Count(c.id); got != uint64(c.want) {
+				t.Errorf("%s/%s: counter %s = %d, LaunchResult says %d",
+					row.config, row.bench, c.name, got, c.want)
+			}
+		}
+		// The issue breakdown must partition the issued instructions.
+		sum := mc.Count(metrics.SimIssueALU) + mc.Count(metrics.SimIssueMem) +
+			mc.Count(metrics.SimIssueBar) + mc.Count(metrics.SimIssueExit)
+		if sum != uint64(on.insts) {
+			t.Errorf("%s/%s: issue breakdown sums to %d, want %d insts",
+				row.config, row.bench, sum, on.insts)
+		}
 	}
 }

@@ -1,5 +1,7 @@
 package gpusim
 
+import "tbpoint/internal/metrics"
+
 // dram models a banked, multi-channel DRAM with an open-row policy. Each
 // bank tracks when it next becomes free and which row its buffer holds; an
 // access queues behind the bank's previous work (FR-FCFS-like: consecutive
@@ -12,9 +14,11 @@ type dram struct {
 	nextFree []int64  // per (channel, bank): cycle the bank is free
 	openRow  []uint64 // per (channel, bank): open row + 1 (0 = closed)
 	bankMask uint64   // Banks-1 when Banks is a power of two, else 0
+	mc       *metrics.Collector
 
 	Accesses int64
 	RowHits  int64
+	queued   int64 // accesses that waited behind a busy bank
 }
 
 func newDRAM(cfg DRAMConfig) *dram {
@@ -56,6 +60,10 @@ func (d *dram) access(addr uint64, arrive int64) int64 {
 	start := arrive
 	if d.nextFree[b] > start {
 		start = d.nextFree[b] // queueing delay
+		d.queued++
+	}
+	if d.mc != nil {
+		d.mc.Observe(metrics.DistDRAMQueueWait, uint64(start-arrive))
 	}
 	done := start + service
 	d.nextFree[b] = done
@@ -69,5 +77,5 @@ func (d *dram) reset() {
 		d.nextFree[i] = 0
 		d.openRow[i] = 0
 	}
-	d.Accesses, d.RowHits = 0, 0
+	d.Accesses, d.RowHits, d.queued = 0, 0, 0
 }

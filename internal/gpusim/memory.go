@@ -1,6 +1,9 @@
 package gpusim
 
-import "tbpoint/internal/isa"
+import (
+	"tbpoint/internal/isa"
+	"tbpoint/internal/metrics"
+)
 
 // memSystem glues per-SM L1 caches, the shared L2 and DRAM into one access
 // path. All latencies are absolute completion cycles so the SM scheduler
@@ -20,8 +23,10 @@ type memSystem struct {
 	l2    *cache
 	dram  *dram
 	mshrs []mshrTable // per SM: line -> fill completion cycle
+	mc    *metrics.Collector
 
 	MSHRMerges int64
+	prunes     int64 // pruneCompleted invocations (MSHR pressure indicator)
 }
 
 func newMemSystem(cfg Config) *memSystem {
@@ -50,6 +55,14 @@ func (m *memSystem) reset() {
 	m.l2.reset()
 	m.dram.reset()
 	m.MSHRMerges = 0
+	m.prunes = 0
+}
+
+// setMetrics points the memory system (and its DRAM model) at the run's
+// collector; nil disables per-access observations.
+func (m *memSystem) setMetrics(mc *metrics.Collector) {
+	m.mc = mc
+	m.dram.mc = mc
 }
 
 // access performs one memory request from SM sm at the given cycle and
@@ -70,6 +83,9 @@ func (m *memSystem) access(sm int, addr uint64, cycle int64, op isa.Opcode) int6
 	// outstanding fills influence timing, which is what makes the prune
 	// policy a pure capacity knob.
 	t := &m.mshrs[sm]
+	if m.mc != nil {
+		m.mc.Observe(metrics.DistMSHROccupancy, uint64(t.n))
+	}
 	slot := t.find(line)
 	if t.keys[slot] != 0 && t.vals[slot] > cycle {
 		// The original fill has already allocated the line in the L1;
@@ -97,6 +113,7 @@ func (m *memSystem) access(sm int, addr uint64, cycle int64, op isa.Opcode) int6
 	}
 	t.put(line, done)
 	if t.n > m.prune {
+		m.prunes++
 		t.pruneCompleted(cycle)
 	}
 	return done

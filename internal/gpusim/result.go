@@ -1,5 +1,7 @@
 package gpusim
 
+import "tbpoint/internal/metrics"
+
 // SMStat is the per-SM outcome of a launch simulation.
 type SMStat struct {
 	// WarpInsts is the number of warp instructions the SM issued.
@@ -126,4 +128,11 @@ type RunOptions struct {
 	// CollectBBV records per-basic-block instruction counts for each fixed
 	// unit (requires FixedUnitInsts > 0).
 	CollectBBV bool
+	// Metrics, when non-nil, receives the run's observability counters
+	// (issue/stall breakdown, scheduler events, cache/MSHR/DRAM behaviour;
+	// see internal/metrics). Collection is observation-only: a run with
+	// metrics enabled is bit-identical to one without. The collector is a
+	// single-writer structure — concurrent RunLaunch calls must each use
+	// their own collector and Merge afterwards.
+	Metrics *metrics.Collector
 }

@@ -7,6 +7,7 @@ import (
 
 	"tbpoint/internal/isa"
 	"tbpoint/internal/kernel"
+	"tbpoint/internal/metrics"
 	"tbpoint/internal/trace"
 )
 
@@ -303,6 +304,16 @@ type runState struct {
 	// opcodes stay in range.
 	latTab [256]int64
 
+	// Observability (see internal/metrics). mc is nil for uninstrumented
+	// runs. The mct scratch counters are bumped with plain unconditional
+	// increments on the hot path — an add to run-local state is cheaper
+	// than a branch per event — and flushed into mc once at the end of the
+	// run; only distribution observes (which need the collector itself)
+	// sit behind mc != nil guards. Collection never influences timing, so
+	// instrumented and uninstrumented runs are bit-identical.
+	mc  *metrics.Collector
+	mct runCounters
+
 	nextTB  int
 	totalTB int
 	liveTBs int
@@ -322,6 +333,17 @@ type runState struct {
 	bbv             []int64
 
 	addrs [trace.MaxRequests]uint64
+}
+
+// runCounters are the run-local metrics scratch counters (flushed into the
+// run's Collector at the end of the launch; see runState.mc).
+type runCounters struct {
+	smVisits, stallVisits                   int64
+	issueALU, issueMem, issueBar, issueExit int64
+	timeJumps, jumpedCycles                 int64
+	wakePushes                              int64
+	wheelParks, calParks                    int64
+	parkedWheel                             int64 // current wheel population; maintained only when mc != nil
 }
 
 // runArena owns the reusable backing state of one launch simulation. Arenas
@@ -372,6 +394,9 @@ func (ar *runArena) reset(s *Simulator, prov trace.Provider, opts RunOptions) *r
 	if rs.hk == nil {
 		rs.hk = &noHooks
 	}
+	rs.mc = opts.Metrics
+	rs.mct = runCounters{}
+	rs.mem.setMetrics(opts.Metrics)
 	rs.res = &LaunchResult{SMs: make([]SMStat, s.cfg.NumSMs)}
 	rs.occ = 0
 	rs.wpb = prov.WarpsPerBlock()
@@ -442,6 +467,8 @@ func (s *Simulator) RunLaunchProvider(l *kernel.Launch, prov trace.Provider, opt
 	rs.prov = nil
 	rs.opts = RunOptions{}
 	rs.hk = nil
+	rs.mc = nil
+	rs.mem.setMetrics(nil)
 	s.arenas.Put(ar)
 	return res
 }
@@ -483,6 +510,11 @@ func (rs *runState) run() {
 	for rs.liveTBs > 0 {
 		slot := int(rs.cycle) & wheelMask
 		bkt := rs.wheel[slot*words : (slot+1)*words]
+		if rs.mc != nil {
+			for _, w := range bkt {
+				rs.mct.parkedWheel -= int64(bits.OnesCount64(w))
+			}
+		}
 		var any uint64
 		for w := 0; w < words; w++ {
 			d := rs.ready[w] | bkt[w]
@@ -504,6 +536,8 @@ func (rs *runState) run() {
 				panic(fmt.Sprintf("gpusim: deadlock with %d live thread blocks at cycle %d",
 					rs.liveTBs, rs.cycle))
 			}
+			rs.mct.timeJumps++
+			rs.mct.jumpedCycles += next - rs.cycle
 			rs.cycle = next
 			continue
 		}
@@ -515,8 +549,11 @@ func (rs *runState) run() {
 				id := int32(w<<6 + bits.TrailingZeros64(bit))
 				sm := &rs.sms[id]
 				sm.drainWakes(rs.cycle)
+				rs.mct.smVisits++
 				if ref, ok := sm.popReady(); ok {
 					rs.issue(sm, ref)
+				} else {
+					rs.mct.stallVisits++
 				}
 				if sm.hasReady() {
 					rs.ready[w] |= bit
@@ -547,6 +584,47 @@ func (rs *runState) run() {
 	res.DRAMAccesses, res.DRAMRowHits = rs.mem.dram.Accesses, rs.mem.dram.RowHits
 	res.Writebacks = rs.mem.writebacks()
 	res.MSHRMerges = rs.mem.MSHRMerges
+	rs.flushMetrics(res)
+}
+
+// flushMetrics folds the run's scratch counters and the memory system's
+// statistics into the run's collector. Called once per launch; a nil
+// collector makes this (and every per-event observation) a no-op.
+func (rs *runState) flushMetrics(res *LaunchResult) {
+	mc := rs.mc
+	if mc == nil {
+		return
+	}
+	mc.Add(metrics.SimLaunches, 1)
+	mc.Add(metrics.SimCycles, uint64(rs.cycle))
+	mc.Add(metrics.SimWarpInsts, uint64(rs.totalIssued))
+	mc.Add(metrics.SimSMVisits, uint64(rs.mct.smVisits))
+	mc.Add(metrics.SimStallVisits, uint64(rs.mct.stallVisits))
+	mc.Add(metrics.SimIssueALU, uint64(rs.mct.issueALU))
+	mc.Add(metrics.SimIssueMem, uint64(rs.mct.issueMem))
+	mc.Add(metrics.SimIssueBar, uint64(rs.mct.issueBar))
+	mc.Add(metrics.SimIssueExit, uint64(rs.mct.issueExit))
+	mc.Add(metrics.SimTimeJumps, uint64(rs.mct.timeJumps))
+	mc.Add(metrics.SimJumpedCycles, uint64(rs.mct.jumpedCycles))
+	mc.Add(metrics.SchedWakePushes, uint64(rs.mct.wakePushes))
+	mc.Add(metrics.SchedWheelParks, uint64(rs.mct.wheelParks))
+	mc.Add(metrics.SchedCalParks, uint64(rs.mct.calParks))
+	mc.Add(metrics.SchedTBDispatch, uint64(res.SimulatedTBs))
+	mc.Add(metrics.SchedTBSkips, uint64(res.SkippedTBs))
+	mc.Add(metrics.MemL1Hits, uint64(res.L1Hits))
+	mc.Add(metrics.MemL1Misses, uint64(res.L1Misses))
+	mc.Add(metrics.MemL2Hits, uint64(res.L2Hits))
+	mc.Add(metrics.MemL2Misses, uint64(res.L2Misses))
+	mc.Add(metrics.MemMSHRMerges, uint64(res.MSHRMerges))
+	mc.Add(metrics.MemMSHRPrunes, uint64(rs.mem.prunes))
+	mc.Add(metrics.MemWritebacks, uint64(res.Writebacks))
+	mc.Add(metrics.MemDRAMAccesses, uint64(res.DRAMAccesses))
+	mc.Add(metrics.MemDRAMRowHits, uint64(res.DRAMRowHits))
+	mc.Add(metrics.MemDRAMQueued, uint64(rs.mem.dram.queued))
+	for i := range rs.sms {
+		mc.Observe(metrics.DistSMWarpInsts, uint64(rs.sms[i].warpInsts))
+		mc.Observe(metrics.DistSMActiveCycles, uint64(rs.sms[i].lastCycle))
+	}
 }
 
 // parkSM records that idle SM id next becomes actionable at cycle c: in the
@@ -556,8 +634,17 @@ func (rs *runState) parkSM(id int32, c int64) {
 		slot := int(c) & wheelMask
 		rs.wheel[slot*rs.maskWords+int(id)>>6] |= 1 << (uint(id) & 63)
 		rs.wheelSum[slot>>6] |= 1 << (uint(slot) & 63)
+		rs.mct.wheelParks++
+		if rs.mc != nil {
+			rs.mct.parkedWheel++
+			rs.mc.Observe(metrics.DistWheelOccupancy, uint64(rs.mct.parkedWheel))
+		}
 	} else {
 		rs.cal.push(id, c)
+		rs.mct.calParks++
+		if rs.mc != nil {
+			rs.mc.Observe(metrics.DistCalOccupancy, uint64(rs.cal.n))
+		}
 	}
 }
 
@@ -669,6 +756,7 @@ func (rs *runState) wake(ref warpRef, at int64) {
 		sm.pushReady(ref)
 		return
 	}
+	rs.mct.wakePushes++
 	sm.wakes.push(wakeEntry{cycle: at, ref: ref})
 }
 
@@ -706,8 +794,10 @@ func (rs *runState) issue(sm *smState, ref warpRef) {
 
 	switch ev.Op {
 	case isa.OpEXIT:
+		rs.mct.issueExit++
 		rs.finishWarp(tb, ref.w)
 	case isa.OpBAR:
+		rs.mct.issueBar++
 		tb.barArrived++
 		if tb.barArrived >= tb.live {
 			rs.releaseBarrier(tb)
@@ -720,6 +810,7 @@ func (rs *runState) issue(sm *smState, ref warpRef) {
 		// divergent instruction's requests arrive serialised — memory
 		// divergence costs at least one cycle per request even when every
 		// request hits (the Eq. 2 "memory divergence" effect).
+		rs.mct.issueMem++
 		done := rs.cycle + 1
 		for i := 0; i < int(ev.NumReq); i++ {
 			arrive := rs.cycle + int64(i)
@@ -729,6 +820,7 @@ func (rs *runState) issue(sm *smState, ref warpRef) {
 		}
 		rs.wake(ref, done)
 	default:
+		rs.mct.issueALU++
 		rs.wake(ref, rs.cycle+rs.latTab[ev.Op])
 	}
 }

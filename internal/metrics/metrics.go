@@ -1,0 +1,476 @@
+// Package metrics is the simulator's observability layer: a
+// zero-allocation counter/distribution/phase-timer registry that the hot
+// layers (internal/gpusim, internal/core, internal/par, the experiment
+// harness) write into when a run is instrumented, and that costs almost
+// nothing when it is not.
+//
+// The design is deliberately flat: every counter and distribution is a
+// compile-time ID into a fixed array inside a Collector, so an increment is
+// one array store and registration never allocates. There is no string
+// lookup on any hot path; names exist only at reporting time.
+//
+// # Disabled collectors
+//
+// A nil *Collector is the disabled collector. Every method is nil-safe and
+// degrades to a single predictable branch, so instrumented code passes the
+// collector down unconditionally and never guards call sites itself. The
+// contract (pinned by BenchmarkRunLaunchEventLoop and recorded in
+// BENCH_gpusim.json) is that a disabled collector costs <5% on the
+// simulator's event-loop hot path.
+//
+// # Concurrency
+//
+// A Collector is a single-writer structure: one goroutine owns it and
+// increments without synchronisation. Parallel work (launch fan-out,
+// representative simulations, benchmark grids) gives each worker its own
+// Collector and merges them afterwards — Merge locks the *destination*, so
+// concurrent merges into one aggregate are safe, and merge order does not
+// matter (counters add, distributions combine, phases accumulate by name).
+// For genuinely shared counters (the internal/par worker stats) AtomicAdd
+// provides race-safe increments.
+//
+// # Determinism
+//
+// Counters and distributions observed from a deterministic simulation are
+// themselves deterministic — they are pinned by the golden-metrics gate
+// (cmd/goldencheck, scripts/ci.sh). Phase timings are wall-clock and are
+// excluded from golden comparison.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter identifies one monotonic uint64 counter.
+type Counter int
+
+// The counter set. Grouped by layer; the string names (see counterNames)
+// use a "group.name" convention so reports sort into sections.
+const (
+	// Simulator event loop (internal/gpusim).
+	SimLaunches     Counter = iota // RunLaunch calls
+	SimCycles                      // elapsed cycles, summed over launches
+	SimWarpInsts                   // warp instructions issued
+	SimSMVisits                    // SM visits by the event loop
+	SimStallVisits                 // visits that found no ready warp
+	SimIssueALU                    // issued: ALU/SFU/shared-mem classes
+	SimIssueMem                    // issued: global loads/stores
+	SimIssueBar                    // issued: barriers
+	SimIssueExit                   // issued: EXIT
+	SimTimeJumps                   // idle jumps to the next recorded wake
+	SimJumpedCycles                // cycles skipped by those jumps
+
+	// Event-calendar scheduler (internal/gpusim).
+	SchedWakePushes // warp wake-heap pushes
+	SchedWheelParks // SM parks into the timing wheel
+	SchedCalParks   // SM parks into the overflow calendar
+	SchedTBDispatch // thread blocks dispatched
+	SchedTBSkips    // thread blocks fast-forwarded by sampling
+
+	// Memory system (internal/gpusim).
+	MemL1Hits
+	MemL1Misses
+	MemL2Hits
+	MemL2Misses
+	MemMSHRMerges
+	MemMSHRPrunes
+	MemWritebacks
+	MemDRAMAccesses
+	MemDRAMRowHits
+	MemDRAMQueued // DRAM accesses that waited behind a busy bank
+
+	// TBPoint pipeline (internal/core).
+	CoreLaunches
+	CoreClusters
+	CoreRepLaunches
+	CoreRegions
+	CoreWarmUnits
+	CoreSimulatedInsts
+	CoreSkippedInsts
+
+	// Shared worker budget (internal/par).
+	ParLoops
+	ParTasks
+	ParExtraWorkers
+	ParAcquireDenied
+
+	NumCounters
+)
+
+var counterNames = [NumCounters]string{
+	SimLaunches:     "sim.launches",
+	SimCycles:       "sim.cycles",
+	SimWarpInsts:    "sim.warp_insts",
+	SimSMVisits:     "sim.sm_visits",
+	SimStallVisits:  "sim.stall_visits",
+	SimIssueALU:     "sim.issue_alu",
+	SimIssueMem:     "sim.issue_mem",
+	SimIssueBar:     "sim.issue_bar",
+	SimIssueExit:    "sim.issue_exit",
+	SimTimeJumps:    "sim.time_jumps",
+	SimJumpedCycles: "sim.jumped_cycles",
+
+	SchedWakePushes: "sched.wake_pushes",
+	SchedWheelParks: "sched.wheel_parks",
+	SchedCalParks:   "sched.cal_parks",
+	SchedTBDispatch: "sched.tb_dispatch",
+	SchedTBSkips:    "sched.tb_skips",
+
+	MemL1Hits:       "mem.l1_hits",
+	MemL1Misses:     "mem.l1_misses",
+	MemL2Hits:       "mem.l2_hits",
+	MemL2Misses:     "mem.l2_misses",
+	MemMSHRMerges:   "mem.mshr_merges",
+	MemMSHRPrunes:   "mem.mshr_prunes",
+	MemWritebacks:   "mem.writebacks",
+	MemDRAMAccesses: "mem.dram_accesses",
+	MemDRAMRowHits:  "mem.dram_row_hits",
+	MemDRAMQueued:   "mem.dram_queued",
+
+	CoreLaunches:       "core.launches",
+	CoreClusters:       "core.clusters",
+	CoreRepLaunches:    "core.rep_launches",
+	CoreRegions:        "core.regions",
+	CoreWarmUnits:      "core.warm_units",
+	CoreSimulatedInsts: "core.simulated_insts",
+	CoreSkippedInsts:   "core.skipped_insts",
+
+	ParLoops:         "par.loops",
+	ParTasks:         "par.tasks",
+	ParExtraWorkers:  "par.extra_workers",
+	ParAcquireDenied: "par.acquire_denied",
+}
+
+// Name returns the counter's report name ("group.name").
+func (c Counter) Name() string { return counterNames[c] }
+
+// Dist identifies one distribution: count/sum/min/max of observed values.
+type Dist int
+
+const (
+	DistMSHROccupancy  Dist = iota // live MSHR entries, observed per access
+	DistDRAMQueueWait              // cycles a DRAM access waited, per access
+	DistWheelOccupancy             // SMs parked in the wheel, observed per park
+	DistCalOccupancy               // SMs parked in the calendar, per park
+	DistSMWarpInsts                // per-SM issued instructions, per launch
+	DistSMActiveCycles             // per-SM last-issue cycle, per launch
+
+	NumDists
+)
+
+var distNames = [NumDists]string{
+	DistMSHROccupancy:  "mem.mshr_occupancy",
+	DistDRAMQueueWait:  "mem.dram_queue_wait",
+	DistWheelOccupancy: "sched.wheel_occupancy",
+	DistCalOccupancy:   "sched.cal_occupancy",
+	DistSMWarpInsts:    "sim.sm_warp_insts",
+	DistSMActiveCycles: "sim.sm_active_cycles",
+}
+
+// Name returns the distribution's report name.
+func (d Dist) Name() string { return distNames[d] }
+
+type dist struct {
+	count, sum uint64
+	min, max   uint64
+}
+
+type phase struct {
+	name  string
+	nanos int64
+	count int64
+}
+
+// Collector accumulates counters, distributions and phase timings for one
+// instrumented run (or an aggregation of runs, via Merge). The zero value
+// is NOT ready for use; call New. A nil *Collector is the disabled
+// collector: every method is a no-op.
+type Collector struct {
+	c [NumCounters]uint64
+	d [NumDists]dist
+
+	mu       sync.Mutex // guards phases and Merge destinations
+	phases   []phase    // in first-start order
+	phaseIdx map[string]int
+}
+
+// New returns an empty, enabled collector.
+func New() *Collector {
+	return &Collector{phaseIdx: make(map[string]int)}
+}
+
+// Enabled reports whether the collector records anything.
+func (c *Collector) Enabled() bool { return c != nil }
+
+// Inc adds one to the counter.
+func (c *Collector) Inc(id Counter) {
+	if c != nil {
+		c.c[id]++
+	}
+}
+
+// Add adds n to the counter.
+func (c *Collector) Add(id Counter, n uint64) {
+	if c != nil {
+		c.c[id] += n
+	}
+}
+
+// AtomicAdd adds n with a race-safe atomic add, for counters shared by
+// concurrently running goroutines (the internal/par worker stats).
+func (c *Collector) AtomicAdd(id Counter, n uint64) {
+	if c != nil {
+		atomic.AddUint64(&c.c[id], n)
+	}
+}
+
+// Count returns the counter's current value (0 on a nil collector).
+func (c *Collector) Count(id Counter) uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.c[id]
+}
+
+// Observe records one sample of a distribution.
+func (c *Collector) Observe(id Dist, v uint64) {
+	if c == nil {
+		return
+	}
+	d := &c.d[id]
+	if d.count == 0 || v < d.min {
+		d.min = v
+	}
+	if v > d.max {
+		d.max = v
+	}
+	d.count++
+	d.sum += v
+}
+
+// AddPhase accumulates elapsed wall time under the named phase.
+func (c *Collector) AddPhase(name string, elapsed time.Duration) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	i, ok := c.phaseIdx[name]
+	if !ok {
+		i = len(c.phases)
+		c.phases = append(c.phases, phase{name: name})
+		c.phaseIdx[name] = i
+	}
+	c.phases[i].nanos += int64(elapsed)
+	c.phases[i].count++
+	c.mu.Unlock()
+}
+
+// Stopwatch is a started phase timer; Stop records the elapsed time. The
+// zero Stopwatch (from a nil collector) is a no-op.
+type Stopwatch struct {
+	c     *Collector
+	name  string
+	start time.Time
+}
+
+// StartPhase starts timing the named phase.
+func (c *Collector) StartPhase(name string) Stopwatch {
+	if c == nil {
+		return Stopwatch{}
+	}
+	return Stopwatch{c: c, name: name, start: time.Now()}
+}
+
+// Stop records the elapsed time under the stopwatch's phase.
+func (s Stopwatch) Stop() {
+	if s.c != nil {
+		s.c.AddPhase(s.name, time.Since(s.start))
+	}
+}
+
+// TimePhase runs f and records its wall time under the named phase.
+func (c *Collector) TimePhase(name string, f func()) {
+	sw := c.StartPhase(name)
+	f()
+	sw.Stop()
+}
+
+// Merge folds src into c: counters add, distributions combine, phase times
+// accumulate by name. The destination is locked, so concurrent workers may
+// merge their private collectors into one aggregate; src must not be
+// written to concurrently. Merge order never changes the result. A nil
+// destination or source is a no-op.
+func (c *Collector) Merge(src *Collector) {
+	if c == nil || src == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range src.c {
+		c.c[i] += src.c[i]
+	}
+	for i := range src.d {
+		sd := &src.d[i]
+		if sd.count == 0 {
+			continue
+		}
+		d := &c.d[i]
+		if d.count == 0 || sd.min < d.min {
+			d.min = sd.min
+		}
+		if sd.max > d.max {
+			d.max = sd.max
+		}
+		d.count += sd.count
+		d.sum += sd.sum
+	}
+	for _, p := range src.phases {
+		i, ok := c.phaseIdx[p.name]
+		if !ok {
+			i = len(c.phases)
+			c.phases = append(c.phases, phase{name: p.name})
+			c.phaseIdx[p.name] = i
+		}
+		c.phases[i].nanos += p.nanos
+		c.phases[i].count += p.count
+	}
+}
+
+// DistSnapshot is the reportable state of one distribution. Mean is
+// derived at rendering time; the snapshot itself holds only exact integers
+// so golden comparisons are bit-exact.
+type DistSnapshot struct {
+	Count uint64 `json:"count"`
+	Sum   uint64 `json:"sum"`
+	Min   uint64 `json:"min"`
+	Max   uint64 `json:"max"`
+}
+
+// Mean returns the distribution's mean observed value.
+func (d DistSnapshot) Mean() float64 {
+	if d.Count == 0 {
+		return 0
+	}
+	return float64(d.Sum) / float64(d.Count)
+}
+
+// PhaseSnapshot is the reportable state of one phase timer.
+type PhaseSnapshot struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+	Count   int64   `json:"count"`
+}
+
+// Snapshot is the machine-readable state of a collector: the payload of
+// -metrics-json. Zero-valued counters and unobserved distributions are
+// omitted. Counters and Dists are deterministic for deterministic
+// simulations; Phases are wall-clock and must be excluded from golden
+// comparison.
+type Snapshot struct {
+	Counters map[string]uint64       `json:"counters"`
+	Dists    map[string]DistSnapshot `json:"dists,omitempty"`
+	Phases   []PhaseSnapshot         `json:"phases,omitempty"`
+}
+
+// Snapshot captures the collector's current state. Safe to call while
+// other goroutines Merge into c. Phases are sorted by name so concurrent
+// completion order cannot leak into the output.
+func (c *Collector) Snapshot() Snapshot {
+	s := Snapshot{Counters: map[string]uint64{}}
+	if c == nil {
+		return s
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, v := range c.c {
+		if v != 0 {
+			s.Counters[Counter(i).Name()] = v
+		}
+	}
+	for i, d := range c.d {
+		if d.count != 0 {
+			if s.Dists == nil {
+				s.Dists = map[string]DistSnapshot{}
+			}
+			s.Dists[Dist(i).Name()] = DistSnapshot{Count: d.count, Sum: d.sum, Min: d.min, Max: d.max}
+		}
+	}
+	for _, p := range c.phases {
+		s.Phases = append(s.Phases, PhaseSnapshot{
+			Name: p.name, Seconds: float64(p.nanos) / 1e9, Count: p.count,
+		})
+	}
+	sort.Slice(s.Phases, func(i, j int) bool { return s.Phases[i].Name < s.Phases[j].Name })
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON (map keys are sorted by
+// encoding/json, so the output is deterministic up to phase wall times).
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadSnapshot decodes a Snapshot written by WriteJSON.
+func ReadSnapshot(r io.Reader) (Snapshot, error) {
+	var s Snapshot
+	err := json.NewDecoder(r).Decode(&s)
+	return s, err
+}
+
+// WriteText renders the snapshot as a human-readable summary: counters
+// grouped by prefix, distributions with derived means, phases with shares
+// of the total timed wall clock.
+func (s Snapshot) WriteText(w io.Writer) {
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) > 0 {
+		fmt.Fprintln(w, "counters:")
+		group := ""
+		for _, n := range names {
+			if g := strings.SplitN(n, ".", 2)[0]; g != group {
+				group = g
+				fmt.Fprintf(w, "  [%s]\n", group)
+			}
+			fmt.Fprintf(w, "    %-24s %d\n", n, s.Counters[n])
+		}
+	}
+	if len(s.Dists) > 0 {
+		dnames := make([]string, 0, len(s.Dists))
+		for n := range s.Dists {
+			dnames = append(dnames, n)
+		}
+		sort.Strings(dnames)
+		fmt.Fprintln(w, "distributions:")
+		for _, n := range dnames {
+			d := s.Dists[n]
+			fmt.Fprintf(w, "    %-24s count %-10d mean %-12.2f min %-8d max %d\n",
+				n, d.Count, d.Mean(), d.Min, d.Max)
+		}
+	}
+	if len(s.Phases) > 0 {
+		var total float64
+		for _, p := range s.Phases {
+			total += p.Seconds
+		}
+		fmt.Fprintln(w, "phases:")
+		for _, p := range s.Phases {
+			share := 0.0
+			if total > 0 {
+				share = p.Seconds / total * 100
+			}
+			fmt.Fprintf(w, "    %-24s %10.3fs %5.1f%%  (x%d)\n", p.Name, p.Seconds, share, p.Count)
+		}
+	}
+}

@@ -20,6 +20,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"tbpoint/internal/metrics"
 )
 
 var (
@@ -27,6 +29,38 @@ var (
 	lim  int // 0 => GOMAXPROCS
 	used int // extra workers currently running
 )
+
+// Package-wide utilisation statistics. These are cumulative since process
+// start (or the last ResetStats) and are maintained with atomics because
+// loops run concurrently; read them through StatsInto.
+var (
+	statLoops        atomic.Int64 // ForEach calls that actually fanned out (n > 1)
+	statTasks        atomic.Int64 // fn invocations across all loops
+	statExtraWorkers atomic.Int64 // extra-worker goroutines spawned
+	statDenied       atomic.Int64 // tryAcquire calls rejected by the budget
+)
+
+// StatsInto adds the package's cumulative utilisation counters to c:
+// par.loops, par.tasks, par.extra_workers and par.acquire_denied. A nil
+// collector is a no-op. Pair with ResetStats to scope the numbers to one
+// experiment.
+func StatsInto(c *metrics.Collector) {
+	if c == nil {
+		return
+	}
+	c.Add(metrics.ParLoops, uint64(statLoops.Load()))
+	c.Add(metrics.ParTasks, uint64(statTasks.Load()))
+	c.Add(metrics.ParExtraWorkers, uint64(statExtraWorkers.Load()))
+	c.Add(metrics.ParAcquireDenied, uint64(statDenied.Load()))
+}
+
+// ResetStats zeroes the cumulative utilisation counters.
+func ResetStats() {
+	statLoops.Store(0)
+	statTasks.Store(0)
+	statExtraWorkers.Store(0)
+	statDenied.Store(0)
+}
 
 // SetLimit sets the shared worker budget. Zero (the default) means
 // GOMAXPROCS; one disables parallelism entirely. Loops already in flight
@@ -57,6 +91,7 @@ func tryAcquire() bool {
 	mu.Lock()
 	defer mu.Unlock()
 	if used >= effLimit()-1 {
+		statDenied.Add(1)
 		return false
 	}
 	used++
@@ -81,8 +116,10 @@ func ForEach(n int, fn func(i int) error) error {
 		return nil
 	}
 	if n == 1 {
+		statTasks.Add(1)
 		return fn(0)
 	}
+	statLoops.Add(1)
 	errs := make([]error, n)
 	var next atomic.Int64
 	work := func() {
@@ -91,11 +128,13 @@ func ForEach(n int, fn func(i int) error) error {
 			if i >= n {
 				return
 			}
+			statTasks.Add(1)
 			errs[i] = fn(i)
 		}
 	}
 	var wg sync.WaitGroup
 	for k := 1; k < n && tryAcquire(); k++ {
+		statExtraWorkers.Add(1)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()

@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+
+	"tbpoint/internal/metrics"
 )
 
 func withLimit(t *testing.T, n int) {
@@ -109,6 +111,38 @@ func TestSharedBudgetBoundsNestedFanOut(t *testing.T) {
 	}
 	if p := peak.Load(); p > 4 {
 		t.Fatalf("nested fan-out reached %d concurrent workers, budget 4", p)
+	}
+}
+
+func TestStatsIntoReportsUtilisation(t *testing.T) {
+	withLimit(t, 4)
+	ResetStats()
+	t.Cleanup(ResetStats)
+	if err := ForEach(10, func(i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEach(1, func(i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	c := metrics.New()
+	StatsInto(c)
+	if got := c.Count(metrics.ParLoops); got != 1 {
+		t.Fatalf("par.loops = %d, want 1 (n==1 fast path must not count)", got)
+	}
+	if got := c.Count(metrics.ParTasks); got != 11 {
+		t.Fatalf("par.tasks = %d, want 11", got)
+	}
+	if got := c.Count(metrics.ParExtraWorkers); got > 3 {
+		t.Fatalf("par.extra_workers = %d, exceeds budget-1 = 3", got)
+	}
+	// Nil collector must be a no-op, not a panic.
+	StatsInto(nil)
+
+	ResetStats()
+	c2 := metrics.New()
+	StatsInto(c2)
+	if got := c2.Count(metrics.ParTasks); got != 0 {
+		t.Fatalf("par.tasks after ResetStats = %d, want 0", got)
 	}
 }
 

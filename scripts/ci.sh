@@ -1,23 +1,80 @@
 #!/usr/bin/env bash
-# ci.sh — the repository's check suite: vet, build, full tests, and a
-# race-detector pass over the packages that run simulations concurrently
-# (the shared worker budget fans launches and benchmark cells out over
-# goroutines; see DESIGN.md "Performance architecture").
+# ci.sh — the repository's single CI entry point, as named, timed stages:
 #
-# Usage: scripts/ci.sh
+#   fmt     gofmt -l must report nothing
+#   vet     go vet over every package
+#   build   go build over every package
+#   test    the full unit/integration suite
+#   race    race-detector pass over the packages that run simulations
+#           concurrently (the shared worker budget fans launches and
+#           benchmark cells out over goroutines; see DESIGN.md)
+#   fuzz    10s fuzz smoke over each existing fuzz target
+#   golden  cmd/goldencheck re-runs the five determinism benchmarks and
+#           diffs the full metrics counter set against testdata goldens
+#   bench   cmd/benchgate re-measures throughput against BENCH_gpusim.json
+#           (advisory by default; BENCH_HARD=1 makes drops fail)
+#
+# Usage: scripts/ci.sh [fast]
+#   fast         skip the fuzz and bench stages (quick pre-commit loop)
+#   SKIP_FUZZ=1  skip only the fuzz stage
+#   BENCH_HARD=1 make the bench stage fail (instead of warn) on >20% drops
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== go vet"
-go vet ./...
+FAST=0
+if [[ "${1:-}" == "fast" ]]; then
+  FAST=1
+fi
 
-echo "== go build"
-go build ./...
+stage() {
+  local name="$1"
+  shift
+  local start=$SECONDS
+  echo "== ${name}"
+  if "$@"; then
+    echo "== ${name} ok ($((SECONDS - start))s)"
+  else
+    echo "== ${name} FAILED ($((SECONDS - start))s)" >&2
+    return 1
+  fi
+}
 
-echo "== go test"
-go test ./...
+check_fmt() {
+  local bad
+  bad=$(gofmt -l .)
+  if [[ -n "$bad" ]]; then
+    echo "gofmt needed on:" >&2
+    echo "$bad" >&2
+    return 1
+  fi
+}
 
-echo "== go test -race (concurrent packages)"
-go test -race ./internal/gpusim/ ./internal/experiments/ ./internal/core/ ./internal/par/
+run_fuzz() {
+  # One target per invocation: `go test -fuzz` accepts a single fuzzing
+  # target at a time. -run='^$' keeps the smoke from re-running unit tests.
+  go test -run='^$' -fuzz='^FuzzRead$' -fuzztime=10s ./internal/trace/
+  go test -run='^$' -fuzz='^FuzzReadRegionTable$' -fuzztime=10s ./internal/core/
+}
 
-echo "CI OK"
+run_bench() {
+  local args=()
+  if [[ "${BENCH_HARD:-0}" == "1" ]]; then
+    args+=(-hard)
+  fi
+  go run ./cmd/benchgate "${args[@]}"
+}
+
+stage fmt check_fmt
+stage vet go vet ./...
+stage build go build ./...
+stage test go test ./...
+stage race go test -race ./internal/gpusim/ ./internal/experiments/ ./internal/core/ ./internal/par/
+if [[ "$FAST" == "0" && "${SKIP_FUZZ:-0}" != "1" ]]; then
+  stage fuzz run_fuzz
+fi
+stage golden go run ./cmd/goldencheck
+if [[ "$FAST" == "0" ]]; then
+  stage bench run_bench
+fi
+
+echo "CI OK (${SECONDS}s)"

@@ -37,6 +37,7 @@ import (
 	"tbpoint/internal/gpusim"
 	"tbpoint/internal/kernel"
 	"tbpoint/internal/markov"
+	"tbpoint/internal/metrics"
 	"tbpoint/internal/sampling"
 	"tbpoint/internal/simpoint"
 	"tbpoint/internal/workloads"
@@ -92,6 +93,20 @@ type (
 	RunOptions = gpusim.RunOptions
 )
 
+// Observability types (see internal/metrics).
+type (
+	// Collector accumulates counters, distributions and phase timings; a
+	// nil *Collector disables collection everywhere it is accepted.
+	Collector = metrics.Collector
+	// MetricsSnapshot is a collector's reportable state.
+	MetricsSnapshot = metrics.Snapshot
+)
+
+// NewCollector returns an enabled metrics collector. Pass it via
+// Options.Metrics, RunOptions.Metrics, ProfileMetrics or
+// FullSimulationMetrics, then render Snapshot() with WriteJSON/WriteText.
+func NewCollector() *Collector { return metrics.New() }
+
 // Profiling and baseline types.
 type (
 	// LaunchProfile is the per-thread-block functional profile of a launch.
@@ -121,6 +136,12 @@ func MustNewSimulator(cfg SimConfig) *Simulator { return gpusim.MustNew(cfg) }
 // Profile performs the one-time, hardware-independent functional profiling
 // of an application (the GPUOcelot step).
 func Profile(app *App) *AppProfile { return core.ProfileApp(app) }
+
+// ProfileMetrics is Profile with the pass's wall time recorded as the
+// core.profile phase of mc (nil mc behaves exactly like Profile).
+func ProfileMetrics(app *App, mc *Collector) *AppProfile {
+	return core.ProfileAppMetrics(app, mc)
+}
 
 // Run executes the full TBPoint pipeline: inter-launch clustering,
 // homogeneous region identification at the simulator's occupancy, sampled
@@ -175,11 +196,20 @@ func MustBenchmark(name string, scale float64) *App {
 // instructions with basic block vectors — the input the Random and
 // Ideal-Simpoint baselines need.
 func FullSimulation(sim *Simulator, app *App, unitInsts int64) *AppRun {
+	return FullSimulationMetrics(sim, app, unitInsts, nil)
+}
+
+// FullSimulationMetrics is FullSimulation with each launch's simulator
+// counters collected into mc and the total wall time recorded as the
+// full_reference phase (nil mc behaves exactly like FullSimulation).
+func FullSimulationMetrics(sim *Simulator, app *App, unitInsts int64, mc *Collector) *AppRun {
+	defer mc.StartPhase("full_reference").Stop()
 	run := &sampling.AppRun{}
 	for _, l := range app.Launches {
 		run.Launches = append(run.Launches, sim.RunLaunch(l, gpusim.RunOptions{
 			FixedUnitInsts: unitInsts,
 			CollectBBV:     unitInsts > 0,
+			Metrics:        mc,
 		}))
 	}
 	return run
