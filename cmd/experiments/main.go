@@ -10,9 +10,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -35,12 +38,31 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	benchJSON := flag.String("bench-json", "", "measure simulator throughput and write BENCH-style JSON to this file (no target needed)")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit); partial results are still written")
 	flag.Parse()
 	experiments.Parallelism = *parN
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
+	}
+
+	// aborted flips when -timeout (or SIGINT) cuts the run short. The defer
+	// is registered before the profile defers so it runs last: profiles and
+	// JSON outputs flush, then the process reports the abort via exit code.
+	aborted := false
+	defer func() {
+		if aborted {
+			os.Exit(1)
+		}
+	}()
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -94,6 +116,7 @@ func main() {
 	opts.Seed = *seed
 	opts.Out = os.Stdout
 	opts.Verbose = *verbose
+	opts.Ctx = ctx
 	if *bench != "" {
 		opts.Benchmarks = strings.Split(*bench, ",")
 	}
@@ -125,86 +148,110 @@ func main() {
 	w := os.Stdout
 	bundle := &experiments.Results{Scale: opts.Scale, Seed: opts.Seed}
 
-	if want["table6"] {
+	// dead reports (and records) whether the run has been cut short;
+	// remaining targets are skipped but the output files are still written.
+	dead := func() bool {
+		if ctx.Err() != nil {
+			aborted = true
+		}
+		return aborted
+	}
+	// handle classifies a target's error: cancellation marks the run aborted
+	// and lets the partial bundle flush; anything else is fatal. It returns
+	// true when the target completed cleanly.
+	handle := func(err error) bool {
+		if err == nil {
+			return true
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			aborted = true
+			fmt.Fprintln(os.Stderr, "experiments: run aborted:", err)
+			return false
+		}
+		fail(err)
+		return false
+	}
+
+	if want["table6"] && !dead() {
 		sw := mc.StartPhase("target.table6")
 		rows, err := experiments.RunTable6(opts)
 		sw.Stop()
-		if err != nil {
-			fail(err)
+		if handle(err) {
+			experiments.PrintTable6(w, rows, opts.Scale)
+			bundle.Table6 = rows
 		}
-		experiments.PrintTable6(w, rows, opts.Scale)
-		bundle.Table6 = rows
 	}
-	if want["table1"] {
+	if want["table1"] && !dead() {
 		sw := mc.StartPhase("target.table1")
 		t1 := experiments.RunTable1PerKernelMetrics(clampScale(opts.Scale, 0.05), mc)
 		sw.Stop()
 		experiments.PrintTable1(w, t1)
 		bundle.Table1 = t1
 	}
-	if want["fig5"] {
+	if want["fig5"] && !dead() {
 		f5 := experiments.RunFig5(*samples, opts.Seed+5)
 		experiments.PrintFig5(w, f5)
 		bundle.Fig5 = f5
 	}
-	if want["fig8"] {
+	if want["fig8"] && !dead() {
 		sw := mc.StartPhase("target.fig8")
 		series, err := experiments.RunFig8([]string{"conv", "mst"}, opts)
 		sw.Stop()
-		if err != nil {
-			fail(err)
+		if handle(err) {
+			experiments.PrintFig8(w, series)
+			bundle.Fig8 = series
 		}
-		experiments.PrintFig8(w, series)
-		bundle.Fig8 = series
 	}
-	if want["ablations"] {
+	if want["ablations"] && !dead() {
 		sw := mc.StartPhase("target.ablations")
 		results, err := experiments.RunAblations(opts)
 		sw.Stop()
-		if err != nil {
-			fail(err)
+		if handle(err) {
+			experiments.PrintAblations(w, results)
+			bundle.Ablations = results
 		}
-		experiments.PrintAblations(w, results)
-		bundle.Ablations = results
 	}
-	if want["motivation"] {
+	if want["motivation"] && !dead() {
 		sw := mc.StartPhase("target.motivation")
 		results, err := experiments.RunMotivation(opts)
 		sw.Stop()
-		if err != nil {
-			fail(err)
+		if handle(err) {
+			experiments.PrintMotivation(w, results)
+			bundle.Motivation = results
 		}
-		experiments.PrintMotivation(w, results)
-		bundle.Motivation = results
 	}
-	if want["accuracy"] {
+	if want["accuracy"] && !dead() {
 		sw := mc.StartPhase("target.accuracy")
-		results, err := experiments.RunAccuracyParallel(opts)
+		results, cellErrs, err := experiments.RunAccuracyParallel(opts)
 		sw.Stop()
-		if err != nil {
-			fail(err)
+		bundle.Errors = append(bundle.Errors, cellErrs...)
+		if handle(err) || len(results) > 0 {
+			if want["fig9"] || want["accuracy"] {
+				experiments.PrintFig9(w, results)
+			}
+			if want["fig10"] || want["accuracy"] {
+				experiments.PrintFig10(w, results)
+			}
+			if want["fig11"] || want["accuracy"] {
+				experiments.PrintFig11(w, results)
+			}
+			bundle.Accuracy = results
 		}
-		if want["fig9"] || want["accuracy"] {
-			experiments.PrintFig9(w, results)
-		}
-		if want["fig10"] || want["accuracy"] {
-			experiments.PrintFig10(w, results)
-		}
-		if want["fig11"] || want["accuracy"] {
-			experiments.PrintFig11(w, results)
-		}
-		bundle.Accuracy = results
 	}
-	if want["sensitivity"] {
+	if want["sensitivity"] && !dead() {
 		sw := mc.StartPhase("target.sensitivity")
-		results, err := experiments.RunSensitivityParallel(opts)
+		results, cellErrs, err := experiments.RunSensitivityParallel(opts)
 		sw.Stop()
-		if err != nil {
-			fail(err)
+		bundle.Errors = append(bundle.Errors, cellErrs...)
+		if handle(err) || len(results) > 0 {
+			experiments.PrintFig12(w, results)
+			experiments.PrintFig13(w, results)
+			bundle.Sensitivity = results
 		}
-		experiments.PrintFig12(w, results)
-		experiments.PrintFig13(w, results)
-		bundle.Sensitivity = results
+	}
+	bundle.Aborted = dead()
+	if len(bundle.Errors) > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d grid cell(s) failed; see the errors section of -json output\n", len(bundle.Errors))
 	}
 
 	if mc != nil {

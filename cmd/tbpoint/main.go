@@ -14,10 +14,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"sort"
 
 	"tbpoint"
@@ -42,7 +45,16 @@ func main() {
 	list := flag.Bool("list", false, "list available benchmarks and exit")
 	metricsJSON := flag.String("metrics-json", "", "collect observability metrics and write the snapshot as JSON to this file ('-' = stdout)")
 	showMetrics := flag.Bool("metrics", false, "collect observability metrics and print the summary table")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	flag.Parse()
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *list {
 		for _, n := range tbpoint.Benchmarks() {
@@ -72,6 +84,7 @@ func main() {
 	}
 
 	opts := tbpoint.DefaultOptions()
+	opts.Ctx = ctx
 	opts.SigmaInter = *sigmaInter
 	opts.SigmaIntra = *sigmaIntra
 	opts.VarFactor = *vf
@@ -115,6 +128,9 @@ func main() {
 	}
 	res, err := tbpoint.Run(sim, prof, opts)
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			log.Fatalf("run aborted (%v); nothing to report", err)
+		}
 		log.Fatal(err)
 	}
 	if *dumpRegions != "" {
@@ -141,7 +157,10 @@ func main() {
 		printRegions(res)
 	}
 
-	full := tbpoint.FullSimulationMetrics(sim, app, unitFor(app.TotalWarpInsts()), mc)
+	full := tbpoint.FullSimulationCtx(ctx, sim, app, unitFor(app.TotalWarpInsts()), mc)
+	if full.Aborted {
+		log.Fatal("run aborted during the full reference simulation; no comparison to report")
+	}
 	est := res.Estimate
 	fmt.Printf("\n%-16s %10s %10s %10s\n", "technique", "IPC", "error", "sample")
 	fmt.Printf("%-16s %10.3f %10s %10s\n", "Full", full.IPC(), "-", "100%")

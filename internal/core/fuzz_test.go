@@ -13,6 +13,14 @@ func FuzzReadRegionTable(f *testing.F) {
 	f.Add(`{"format":"tbpoint-region-table-v1","occupancy":0,"numBlocks":0,"numRegions":0,"rows":[]}`)
 	f.Add(`{}`)
 	f.Add(`not json`)
+	// Corrupt region-ID shapes: negative IDs, and headers whose numRegions
+	// disagrees with the rows in both directions.
+	f.Add(`{"format":"tbpoint-region-table-v1","occupancy":2,"numBlocks":4,
+	        "numRegions":2,"rows":[{"Start":0,"End":2,"ID":-1},{"Start":2,"End":4,"ID":0}]}`)
+	f.Add(`{"format":"tbpoint-region-table-v1","occupancy":2,"numBlocks":4,
+	        "numRegions":7,"rows":[{"Start":0,"End":2,"ID":0},{"Start":2,"End":4,"ID":1}]}`)
+	f.Add(`{"format":"tbpoint-region-table-v1","occupancy":2,"numBlocks":4,
+	        "numRegions":1,"rows":[{"Start":0,"End":2,"ID":0},{"Start":2,"End":4,"ID":3}]}`)
 
 	f.Fuzz(func(t *testing.T, data string) {
 		rt, err := ReadRegionTable(strings.NewReader(data))
@@ -20,16 +28,64 @@ func FuzzReadRegionTable(f *testing.F) {
 			return
 		}
 		// Accepted tables must tile [0, numBlocks) exactly; Regions() on
-		// them must reproduce contiguous runs.
+		// them must reproduce contiguous runs with valid IDs, and the header
+		// region count must match the rows.
 		next := 0
+		distinct := map[int]bool{}
 		for _, run := range rt.Regions() {
 			if run.Start != next || run.End <= run.Start {
 				t.Fatalf("accepted table has non-tiling run %+v", run)
 			}
+			if run.ID < 0 {
+				t.Fatalf("accepted table has negative region ID %+v", run)
+			}
+			distinct[run.ID] = true
 			next = run.End
 		}
 		if next != len(rt.RegionOf) {
 			t.Fatalf("runs cover %d of %d blocks", next, len(rt.RegionOf))
+		}
+		if rt.NumRegions != len(distinct) {
+			t.Fatalf("accepted table claims %d regions but carries %d", rt.NumRegions, len(distinct))
+		}
+	})
+}
+
+// FuzzReadProfiles checks the profile loader never panics and that every
+// accepted profile carries only non-negative counters — the invariant
+// SampleLaunch's skipped-instruction accounting relies on.
+func FuzzReadProfiles(f *testing.F) {
+	f.Add(`{"format":"tbpoint-profile-v1","app":"x","launches":[
+	        {"blocks":[{"ThreadInsts":64,"WarpInsts":2,"MemRequests":1}],"blockCounts":[2]}]}`)
+	f.Add(`{"format":"tbpoint-profile-v1","app":"x","launches":[]}`)
+	f.Add(`{"format":"tbpoint-profile-v1","app":"x","launches":[
+	        {"blocks":[{"ThreadInsts":64,"WarpInsts":-2,"MemRequests":1}],"blockCounts":[2]}]}`)
+	f.Add(`{"format":"tbpoint-profile-v1","app":"x","launches":[
+	        {"blocks":[{"ThreadInsts":64,"WarpInsts":2,"MemRequests":1}],"blockCounts":[-9]}]}`)
+	f.Add(`{}`)
+	f.Add(`not json`)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		profiles, err := ReadProfiles(strings.NewReader(data), "")
+		if err != nil {
+			return
+		}
+		for li, lp := range profiles {
+			for tb, p := range lp.Blocks {
+				if p.WarpInsts < 0 || p.ThreadInsts < 0 || p.MemRequests < 0 {
+					t.Fatalf("accepted profile launch %d block %d has negative counters %+v", li, tb, p)
+				}
+			}
+			for b, c := range lp.BlockCounts {
+				if c < 0 {
+					t.Fatalf("accepted profile launch %d basic block %d has negative count %d", li, b, c)
+				}
+			}
+			// The derived quantities the sampler consumes must be finite and
+			// non-negative on anything the loader accepts.
+			if lp.TotalWarpInsts() < 0 || lp.TotalThreadInsts() < 0 || lp.TotalMemRequests() < 0 {
+				t.Fatalf("accepted profile launch %d has negative totals", li)
+			}
 		}
 	})
 }

@@ -5,6 +5,8 @@
 package core
 
 import (
+	"sort"
+
 	"tbpoint/internal/cluster"
 	"tbpoint/internal/funcsim"
 	"tbpoint/internal/kernel"
@@ -62,6 +64,7 @@ func (r *InterResult) RepLaunches() []int {
 			out = append(out, rep)
 		}
 	}
+	sort.Ints(out)
 	return out
 }
 

@@ -55,11 +55,16 @@ func ReadRegionTable(r io.Reader) (*RegionTable, error) {
 		NumRegions: f.NumRegions,
 	}
 	next := 0
+	distinct := map[int]bool{}
 	for i, row := range f.Rows {
 		if row.Start != next || row.End <= row.Start || row.End > f.NumBlocks {
 			return nil, fmt.Errorf("core: region table: row %d [%d,%d) does not tile at %d",
 				i, row.Start, row.End, next)
 		}
+		if row.ID < 0 {
+			return nil, fmt.Errorf("core: region table: row %d has negative region ID %d", i, row.ID)
+		}
+		distinct[row.ID] = true
 		for tb := row.Start; tb < row.End; tb++ {
 			rt.RegionOf[tb] = row.ID
 		}
@@ -67,6 +72,14 @@ func ReadRegionTable(r io.Reader) (*RegionTable, error) {
 	}
 	if next != f.NumBlocks {
 		return nil, fmt.Errorf("core: region table: rows end at %d of %d blocks", next, f.NumBlocks)
+	}
+	// NumRegions is documented as the number of distinct region IDs; the
+	// outlier post-processing can vacate cluster IDs, so the IDs may have
+	// gaps — only the distinct count (not max+1) is checkable. A mismatch
+	// mis-sizes every per-region consumer downstream.
+	if f.NumRegions != len(distinct) {
+		return nil, fmt.Errorf("core: region table: numRegions %d, but rows carry %d distinct IDs",
+			f.NumRegions, len(distinct))
 	}
 	return rt, nil
 }
@@ -115,6 +128,21 @@ func ReadProfiles(r io.Reader, appName string) ([]*funcsim.LaunchProfile, error)
 	}
 	out := make([]*funcsim.LaunchProfile, len(f.Launches))
 	for i, lf := range f.Launches {
+		// Profile counters are counts; a corrupt file with negative values
+		// would flow through unchecked into negative SkippedInsts and
+		// nonsense PredictedCycles in SampleLaunch.
+		for b, p := range lf.Blocks {
+			if p.WarpInsts < 0 || p.ThreadInsts < 0 || p.MemRequests < 0 {
+				return nil, fmt.Errorf("core: profile: launch %d block %d has negative counters %+v",
+					i, b, p)
+			}
+		}
+		for b, c := range lf.BlockCounts {
+			if c < 0 {
+				return nil, fmt.Errorf("core: profile: launch %d basic block %d has negative count %d",
+					i, b, c)
+			}
+		}
 		out[i] = &funcsim.LaunchProfile{Blocks: lf.Blocks, BlockCounts: lf.BlockCounts}
 	}
 	return out, nil

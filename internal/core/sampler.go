@@ -154,6 +154,19 @@ func (s *regionSampler) onRetire(tb int) {
 	delete(s.resident, tb)
 	if s.state == stateOutside {
 		s.maybeEnter()
+		return
+	}
+	// Idle gap while warming: the last resident block just retired, so any
+	// warming evidence (pairwise IPC, stability streak, trend history) was
+	// measured before a dispatch gap and must not let units after the gap
+	// satisfy the stability check against pre-gap cache state. Drop the
+	// evidence but keep the state — the retire hook fires before the
+	// replacement dispatch, so this window is often transient, and the unit
+	// closing at this retirement must still count as a warming unit.
+	if s.state == stateWarming && len(s.resident) == 0 {
+		s.havePrev = false
+		s.stableCount = 0
+		s.history = s.history[:0]
 	}
 }
 
@@ -271,7 +284,7 @@ func SampleLaunch(sim *gpusim.Simulator, l *kernel.Launch, lp *funcsim.LaunchPro
 		OnTBRetire:   func(tb, sm int, cycle int64) { rs.onRetire(tb) },
 		OnUnitClose:  rs.onUnitClose,
 	}
-	res := sim.RunLaunch(l, gpusim.RunOptions{Hooks: hooks, Metrics: opts.Metrics})
+	res := sim.RunLaunch(l, gpusim.RunOptions{Hooks: hooks, Metrics: opts.Metrics, Ctx: opts.Ctx})
 
 	ls := &LaunchSample{
 		Result:          res,

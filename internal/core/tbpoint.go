@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"tbpoint/internal/gpusim"
@@ -46,6 +47,12 @@ type Options struct {
 	// drift bias barely matters); long regions are exactly where a drift
 	// bias multiplies into a large error.
 	WarmWindowMinRegion int
+	// Ctx, when non-nil, makes the pipeline cancellable: the representative
+	// fan-out stops claiming new launches once Ctx is cancelled, in-flight
+	// representative simulations abort at their next sampling-unit boundary,
+	// and Run/Retarget return Ctx's error instead of a Result. A nil (or
+	// never-cancelled) Ctx leaves the pipeline bit-identical.
+	Ctx context.Context
 	// Metrics, when non-nil, receives the pipeline's observability data:
 	// per-phase wall time (core.inter_cluster, core.region_sampling,
 	// core.predict), pipeline counters (launches, clusters, regions,
@@ -145,7 +152,7 @@ func runWithInter(sim *gpusim.Simulator, prof *AppProfile, inter *InterResult, o
 		}
 	}
 	sw := mc.StartPhase("core.region_sampling")
-	par.ForEach(len(reps), func(i int) error {
+	err := par.ForEachCtx(opts.Ctx, len(reps), func(i int) error {
 		rep := reps[i]
 		l := prof.App.Launches[rep]
 		occ := cfg.Limits.SystemOccupancy(l.Kernel, cfg.NumSMs)
@@ -156,9 +163,15 @@ func runWithInter(sim *gpusim.Simulator, prof *AppProfile, inter *InterResult, o
 			ropts.Metrics = mcs[i]
 		}
 		samples[i] = SampleLaunch(sim, l, prof.Profiles[rep], rt, ropts)
+		if samples[i].Result.Aborted {
+			return opts.Ctx.Err()
+		}
 		return nil
 	})
 	sw.Stop()
+	if err != nil {
+		return nil, err
+	}
 	for i, rep := range reps {
 		res.Tables[rep] = tables[i]
 		res.Samples[rep] = samples[i]

@@ -82,7 +82,7 @@ func RunAblations(opts Options) ([]AblationResult, error) {
 		cells = append(cells, cell{"sigma-intra", v.name, "bfs", v.opts})
 	}
 	out := make([]AblationResult, len(cells))
-	err := forEachIndexed(len(cells), func(i int) error {
+	err := forEachIndexed(opts.Ctx, len(cells), func(i int) error {
 		c := cells[i]
 		spec, err := workloads.ByName(c.bench)
 		if err != nil {

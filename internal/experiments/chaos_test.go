@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tbpoint/internal/faultcheck"
+)
+
+// cancelOnFirstWrite cancels a context the first time anything is written to
+// it. Wired as opts.Out with Verbose on, it cancels the run deterministically
+// at the moment the first grid cell reports completion.
+type cancelOnFirstWrite struct {
+	cancel context.CancelFunc
+	once   sync.Once
+}
+
+func (c *cancelOnFirstWrite) Write(p []byte) (int, error) {
+	c.once.Do(c.cancel)
+	return len(p), nil
+}
+
+// TestChaosCancelMidGridRun cancels a multi-benchmark accuracy grid the
+// moment its first cell completes: the run must return within bounded time
+// with the partial results produced before the cut-off, a cancellation
+// error, and no leaked goroutines.
+func TestChaosCancelMidGridRun(t *testing.T) {
+	old := Parallelism
+	Parallelism = 2
+	defer func() { Parallelism = old }()
+
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := fastOpts()
+	opts.Benchmarks = []string{"stream", "black", "hotspot", "kmeans"}
+	opts.Ctx = ctx
+	opts.Verbose = true
+	opts.Out = &cancelOnFirstWrite{cancel: cancel}
+
+	start := time.Now()
+	results, cellErrs, err := RunAccuracyParallel(opts)
+	elapsed := time.Since(start)
+
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned err = %v, want context.Canceled", err)
+	}
+	if len(results) == 0 {
+		t.Error("no partial results: the cell that triggered the cancel should have survived")
+	}
+	if len(results) >= len(opts.Benchmarks) {
+		t.Errorf("got %d results from a run cancelled after the first cell; want fewer than %d",
+			len(results), len(opts.Benchmarks))
+	}
+	for _, r := range results {
+		if r.FullIPC <= 0 {
+			t.Errorf("partial result %s is not internally consistent: FullIPC %v", r.Name, r.FullIPC)
+		}
+	}
+	// Cancellation is a teardown, not a cell fault: no CellError entries.
+	if len(cellErrs) != 0 {
+		t.Errorf("cancellation produced cell errors: %+v", cellErrs)
+	}
+	if elapsed > 30*time.Second {
+		t.Errorf("cancelled run took %v; cancellation did not bound the runtime", elapsed)
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Errorf("goroutines leaked: %d before, %d after cancel", before, g)
+	}
+}
+
+// TestChaosPanicCellDegrades injects a panic into the second cell of a
+// three-benchmark accuracy grid via the cellFault seam: the two healthy
+// cells must still produce results and the faulty one must degrade to a
+// CellError carrying the panic's stack.
+func TestChaosPanicCellDegrades(t *testing.T) {
+	old := Parallelism
+	Parallelism = 1 // sequential: cell order = benchmark order, so cell 1 faults
+	defer func() { Parallelism = old }()
+	cellFault = faultcheck.OnNth(2, faultcheck.Panic)
+	defer func() { cellFault = nil }()
+
+	opts := fastOpts()
+	opts.Benchmarks = []string{"stream", "black", "hotspot"}
+	results, cellErrs, err := RunAccuracyParallel(opts)
+	if err != nil {
+		t.Fatalf("grid with one faulty cell must still complete, got %v", err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2 (grid of 3 with one faulty cell)", len(results))
+	}
+	if results[0].Name != "stream" || results[1].Name != "hotspot" {
+		t.Errorf("healthy cells are %s, %s; want stream, hotspot", results[0].Name, results[1].Name)
+	}
+	if len(cellErrs) != 1 {
+		t.Fatalf("got %d cell errors, want 1: %+v", len(cellErrs), cellErrs)
+	}
+	ce := cellErrs[0]
+	if ce.Grid != "accuracy" || ce.Cell != "black" {
+		t.Errorf("cell error attributed to %s/%s, want accuracy/black", ce.Grid, ce.Cell)
+	}
+	if !strings.Contains(ce.Err, "panicked") {
+		t.Errorf("cell error %q does not identify the panic", ce.Err)
+	}
+	if ce.Stack == "" {
+		t.Error("panic cell error carries no stack trace")
+	}
+}
+
+// TestChaosErrorCellDegrades is the ordinary-error sibling: an injected
+// error in the first cell becomes a stack-less CellError while the rest of
+// the grid completes.
+func TestChaosErrorCellDegrades(t *testing.T) {
+	old := Parallelism
+	Parallelism = 1
+	defer func() { Parallelism = old }()
+	cellFault = faultcheck.OnNth(1, faultcheck.Error)
+	defer func() { cellFault = nil }()
+
+	opts := fastOpts()
+	opts.Benchmarks = []string{"stream", "black"}
+	results, cellErrs, err := RunAccuracyParallel(opts)
+	if err != nil {
+		t.Fatalf("grid with one faulty cell must still complete, got %v", err)
+	}
+	if len(results) != 1 || results[0].Name != "black" {
+		t.Fatalf("want exactly the black result, got %d results", len(results))
+	}
+	if len(cellErrs) != 1 {
+		t.Fatalf("got %d cell errors, want 1", len(cellErrs))
+	}
+	if !strings.Contains(cellErrs[0].Err, faultcheck.ErrInjected.Error()) {
+		t.Errorf("cell error %q does not carry the injected fault", cellErrs[0].Err)
+	}
+	if cellErrs[0].Stack != "" {
+		t.Errorf("ordinary error grew a stack: %q", cellErrs[0].Stack)
+	}
+}
+
+// TestChaosSensitivityPanicCell exercises the same isolation on the
+// (benchmark x hardware-config) sensitivity grid.
+func TestChaosSensitivityPanicCell(t *testing.T) {
+	old := Parallelism
+	Parallelism = 1
+	defer func() { Parallelism = old }()
+	cellFault = faultcheck.OnNth(3, faultcheck.Panic)
+	defer func() { cellFault = nil }()
+
+	opts := fastOpts()
+	opts.Benchmarks = []string{"stream"}
+	results, cellErrs, err := RunSensitivityParallel(opts)
+	if err != nil {
+		t.Fatalf("grid with one faulty cell must still complete, got %v", err)
+	}
+	want := len(HWConfigs()) - 1
+	if len(results) != want {
+		t.Fatalf("got %d results, want %d", len(results), want)
+	}
+	if len(cellErrs) != 1 {
+		t.Fatalf("got %d cell errors, want 1: %+v", len(cellErrs), cellErrs)
+	}
+	if cellErrs[0].Grid != "sensitivity" || !strings.HasPrefix(cellErrs[0].Cell, "stream/") {
+		t.Errorf("cell error attributed to %s/%s, want sensitivity/stream/<config>",
+			cellErrs[0].Grid, cellErrs[0].Cell)
+	}
+	if cellErrs[0].Stack == "" {
+		t.Error("panic cell error carries no stack trace")
+	}
+}
+
+// TestChaosSensitivityCancelMidRun cancels the sensitivity grid after its
+// first cell and checks the partial-results contract there too.
+func TestChaosSensitivityCancelMidRun(t *testing.T) {
+	old := Parallelism
+	Parallelism = 2
+	defer func() { Parallelism = old }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := fastOpts()
+	opts.Benchmarks = []string{"stream", "black"}
+	opts.Ctx = ctx
+	opts.Verbose = true
+	opts.Out = &cancelOnFirstWrite{cancel: cancel}
+
+	results, cellErrs, err := RunSensitivityParallel(opts)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned err = %v, want context.Canceled", err)
+	}
+	total := 2 * len(HWConfigs())
+	if len(results) == 0 || len(results) >= total {
+		t.Errorf("got %d results, want partial coverage of the %d-cell grid", len(results), total)
+	}
+	if len(cellErrs) != 0 {
+		t.Errorf("cancellation produced cell errors: %+v", cellErrs)
+	}
+}
+
+// TestResultsJSONCarriesErrorsAndAborted pins the results.json schema for
+// degraded runs: the errors section and the aborted marker round-trip.
+func TestResultsJSONCarriesErrorsAndAborted(t *testing.T) {
+	in := &Results{
+		Scale:   0.02,
+		Aborted: true,
+		Errors: []CellError{
+			{Grid: "accuracy", Cell: "black", Err: "boom", Stack: "goroutine 1 [running]:"},
+		},
+	}
+	var buf strings.Builder
+	if err := in.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"errors"`) || !strings.Contains(buf.String(), `"aborted"`) {
+		t.Fatalf("serialised results missing errors/aborted sections:\n%s", buf.String())
+	}
+	out, err := ReadResults(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Aborted || len(out.Errors) != 1 || out.Errors[0] != in.Errors[0] {
+		t.Fatalf("round trip lost degradation info: %+v", out)
+	}
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"runtime/debug"
+	"sort"
+	"sync"
+
+	"tbpoint/internal/faultcheck"
+	"tbpoint/internal/par"
+)
+
+// CellError records one failed cell of an experiments grid. A faulty cell —
+// an error or even a panic inside one benchmark/configuration — degrades to
+// an entry here while the rest of the grid completes; the harness surfaces
+// the list as the "errors" section of results.json.
+type CellError struct {
+	// Grid names the grid the cell belonged to ("accuracy", "sensitivity").
+	Grid string `json:"grid"`
+	// Cell identifies the cell (benchmark name, or benchmark/config).
+	Cell string `json:"cell"`
+	// Err is the cell's error text.
+	Err string `json:"err"`
+	// Stack is the panicking goroutine's stack when the failure was a panic
+	// (empty for ordinary errors).
+	Stack string `json:"stack,omitempty"`
+}
+
+// cellFault is the chaos-test seam: when non-nil, every grid cell consults
+// it once at entry, so the tests can deterministically fail or panic one
+// cell of a real grid run. Always nil in production.
+var cellFault *faultcheck.Injector
+
+// runCell executes one grid cell with panic isolation: a panic becomes a
+// *par.PanicError return. par's own worker-level recovery would only
+// surface the lowest-index panic of a loop; recovering per cell lets every
+// faulty cell be recorded individually.
+func runCell(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &par.PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if err := cellFault.Fire(); err != nil {
+		return err
+	}
+	return fn()
+}
+
+// ctxErr is ctx.Err for possibly-nil contexts.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// isCancellation distinguishes "the run is being torn down" from a genuine
+// per-cell fault: cancellation propagates and aborts the grid, cell faults
+// degrade to CellError entries.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// cellRecorder accumulates cell failures across concurrent grid workers and
+// reports them in deterministic (cell index) order.
+type cellRecorder struct {
+	grid string
+	mu   sync.Mutex
+	errs []indexedCellError
+}
+
+type indexedCellError struct {
+	idx int
+	ce  CellError
+}
+
+func (cr *cellRecorder) record(idx int, cell string, err error) {
+	ce := CellError{Grid: cr.grid, Cell: cell, Err: err.Error()}
+	var pe *par.PanicError
+	if errors.As(err, &pe) {
+		ce.Stack = string(pe.Stack)
+	}
+	cr.mu.Lock()
+	cr.errs = append(cr.errs, indexedCellError{idx, ce})
+	cr.mu.Unlock()
+}
+
+func (cr *cellRecorder) sorted() []CellError {
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
+	sort.Slice(cr.errs, func(a, b int) bool { return cr.errs[a].idx < cr.errs[b].idx })
+	out := make([]CellError, 0, len(cr.errs))
+	for _, e := range cr.errs {
+		out = append(out, e.ce)
+	}
+	return out
+}

@@ -12,6 +12,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -46,6 +47,12 @@ type Options struct {
 	// TBPoint overrides the TBPoint options (nil = core.DefaultOptions),
 	// for threshold sweeps and ablations.
 	TBPoint *core.Options
+	// Ctx, when non-nil, makes the harness cancellable end to end: grids
+	// stop claiming new cells, in-flight simulations abort at their next
+	// sampling-unit boundary, and the Run* functions return Ctx's error.
+	// The CLIs wire their -timeout flag (and SIGINT) here. A nil or
+	// never-cancelled Ctx leaves every run bit-identical.
+	Ctx context.Context
 	// Verbose emits progress lines to Out as benchmarks complete.
 	Verbose bool
 	// Out receives report text (required by the Print* helpers).
@@ -126,6 +133,15 @@ func FullApp(sim *gpusim.Simulator, app *kernel.App, unitInsts int64) *sampling.
 // private collector merged in launch order afterwards, so counter totals do
 // not depend on worker interleaving. A nil mc behaves exactly like FullApp.
 func FullAppMetrics(sim *gpusim.Simulator, app *kernel.App, unitInsts int64, mc *metrics.Collector) *sampling.AppRun {
+	return fullAppCtx(nil, sim, app, unitInsts, mc)
+}
+
+// fullAppCtx is the cancellable core of FullApp: a cancelled ctx stops
+// claiming new launches and aborts in-flight ones at their next
+// sampling-unit boundary, returning a partial AppRun flagged Aborted (with
+// nil entries for launches never started). A nil ctx behaves exactly like
+// FullAppMetrics.
+func fullAppCtx(ctx context.Context, sim *gpusim.Simulator, app *kernel.App, unitInsts int64, mc *metrics.Collector) *sampling.AppRun {
 	// Launches are independent simulations of the same machine
 	// configuration, so they fan out over the shared worker budget; results
 	// land at their launch index, making the run identical to a sequential
@@ -140,10 +156,11 @@ func FullAppMetrics(sim *gpusim.Simulator, app *kernel.App, unitInsts int64, mc 
 		}
 	}
 	run := &sampling.AppRun{Launches: make([]*gpusim.LaunchResult, len(app.Launches))}
-	par.ForEach(len(app.Launches), func(i int) error {
+	_ = par.ForEachCtx(ctx, len(app.Launches), func(i int) error {
 		ropts := gpusim.RunOptions{
 			FixedUnitInsts: unitInsts,
 			CollectBBV:     true,
+			Ctx:            ctx,
 		}
 		if mcs != nil {
 			ropts.Metrics = mcs[i]
@@ -153,6 +170,12 @@ func FullAppMetrics(sim *gpusim.Simulator, app *kernel.App, unitInsts int64, mc 
 	})
 	for _, c := range mcs {
 		mc.Merge(c)
+	}
+	for _, l := range run.Launches {
+		if l == nil || l.Aborted {
+			run.Aborted = true
+			break
+		}
 	}
 	return run
 }
@@ -178,6 +201,9 @@ type BenchResult struct {
 // RunBenchmark executes the full §V-B comparison for one benchmark under
 // the given simulator configuration.
 func RunBenchmark(spec *workloads.Spec, cfg gpusim.Config, opts Options) (*BenchResult, error) {
+	if err := ctxErr(opts.Ctx); err != nil {
+		return nil, err
+	}
 	sim, err := gpusim.New(cfg)
 	if err != nil {
 		return nil, err
@@ -194,7 +220,13 @@ func RunBenchmark(spec *workloads.Spec, cfg gpusim.Config, opts Options) (*Bench
 	prof := core.ProfileAppMetrics(app, mc)
 	unit := opts.unitSize(app.TotalWarpInsts())
 
-	full := FullAppMetrics(sim, app, unit, mc)
+	full := fullAppCtx(opts.Ctx, sim, app, unit, mc)
+	if full.Aborted {
+		if err := ctxErr(opts.Ctx); err != nil {
+			return nil, err
+		}
+		return nil, context.Canceled
+	}
 	r := &BenchResult{
 		Name:           spec.Name,
 		Type:           spec.Type,
@@ -207,6 +239,7 @@ func RunBenchmark(spec *workloads.Spec, cfg gpusim.Config, opts Options) (*Bench
 
 	tbopts := opts.tbpointOptions()
 	tbopts.Metrics = mc
+	tbopts.Ctx = opts.Ctx
 	sw := mc.StartPhase("experiments.tbpoint")
 	tb, err := core.Run(sim, prof, tbopts)
 	sw.Stop()

@@ -262,9 +262,12 @@ func TestParallelMatchesSequential(t *testing.T) {
 	old := Parallelism
 	Parallelism = 3
 	defer func() { Parallelism = old }()
-	par, err := RunAccuracyParallel(opts)
+	par, cellErrs, err := RunAccuracyParallel(opts)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(cellErrs) != 0 {
+		t.Fatalf("fault-free run reported cell errors: %+v", cellErrs)
 	}
 	if len(par) != len(seq) {
 		t.Fatalf("length mismatch %d vs %d", len(par), len(seq))
@@ -286,9 +289,12 @@ func TestSensitivityParallelMatches(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := RunSensitivityParallel(opts)
+	par, cellErrs, err := RunSensitivityParallel(opts)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(cellErrs) != 0 {
+		t.Fatalf("fault-free run reported cell errors: %+v", cellErrs)
 	}
 	if len(par) != len(seq) {
 		t.Fatalf("length mismatch")
@@ -301,7 +307,7 @@ func TestSensitivityParallelMatches(t *testing.T) {
 }
 
 func TestForEachIndexedError(t *testing.T) {
-	err := forEachIndexed(10, func(i int) error {
+	err := forEachIndexed(nil, 10, func(i int) error {
 		if i == 7 {
 			return errBoom
 		}
@@ -314,7 +320,7 @@ func TestForEachIndexedError(t *testing.T) {
 	old := Parallelism
 	Parallelism = 1
 	defer func() { Parallelism = old }()
-	if err := forEachIndexed(3, func(i int) error { return nil }); err != nil {
+	if err := forEachIndexed(nil, 3, func(i int) error { return nil }); err != nil {
 		t.Error(err)
 	}
 }

@@ -48,7 +48,7 @@ func RunFig5(samples int, seed uint64) []Fig5Result {
 	// results identical to a sequential sweep.
 	configs := Fig5Configs()
 	out := make([]Fig5Result, len(configs))
-	forEachIndexed(len(configs), func(i int) error {
+	forEachIndexed(nil, len(configs), func(i int) error {
 		c := configs[i]
 		mc := markov.MonteCarlo(c.P, c.M, c.N, samples, seed+uint64(i), false)
 		devs := make([]float64, len(mc.IPCs))

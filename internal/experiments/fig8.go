@@ -27,7 +27,7 @@ func RunFig8(names []string, opts Options) ([]Fig8Series, error) {
 	// Each series profiles its own freshly built app, so the names fan out
 	// over the shared worker budget; results keep the input order.
 	out := make([]Fig8Series, len(names))
-	err := forEachIndexed(len(names), func(i int) error {
+	err := forEachIndexed(opts.Ctx, len(names), func(i int) error {
 		name := names[i]
 		spec, err := workloads.ByName(name)
 		if err != nil {

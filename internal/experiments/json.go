@@ -21,6 +21,12 @@ type Results struct {
 	Ablations   []AblationResult   `json:"ablations,omitempty"`
 	Accuracy    []*BenchResult     `json:"accuracy,omitempty"`
 	Sensitivity []SensResult       `json:"sensitivity,omitempty"`
+	// Errors records grid cells that failed (error or panic) while the rest
+	// of their grid completed; see CellError. Empty on a clean run.
+	Errors []CellError `json:"errors,omitempty"`
+	// Aborted marks a run cut short by -timeout or interrupt: the sections
+	// present cover only the work finished before the cut-off.
+	Aborted bool `json:"aborted,omitempty"`
 	// Phases are the per-phase wall times of the run (profiling,
 	// clustering, region sampling, prediction, full-reference simulation);
 	// Metrics is the full counter snapshot. Both are present only when the

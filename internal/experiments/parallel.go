@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"tbpoint/internal/core"
@@ -18,46 +19,68 @@ var Parallelism = 0
 // forEachIndexed runs fn(i) for i in [0, n) on the shared worker budget,
 // returning the error from the lowest failing index (deterministic
 // regardless of worker interleaving; all indices are attempted so no
-// goroutine leaks).
-func forEachIndexed(n int, fn func(i int) error) error {
+// goroutine leaks). A cancelled ctx stops new indices from being claimed
+// and is returned when no task error outranks it; nil ctx disables
+// cancellation.
+func forEachIndexed(ctx context.Context, n int, fn func(i int) error) error {
 	par.SetLimit(Parallelism)
-	return par.ForEach(n, fn)
+	return par.ForEachCtx(ctx, n, fn)
 }
 
 // RunAccuracyParallel is RunAccuracy with the per-benchmark work fanned out
-// over a worker pool. Results are returned in benchmark (table) order and
-// are identical to the sequential run: every stochastic component is
-// seeded per benchmark, never shared.
-func RunAccuracyParallel(opts Options) ([]*BenchResult, error) {
+// over a worker pool, and with per-cell failure isolation: a benchmark that
+// errors or panics becomes a CellError while the others complete, so one
+// rotten cell no longer takes down the grid. Results are returned compacted
+// in benchmark (table) order and — on a fault-free run — are identical to
+// the sequential run: every stochastic component is seeded per benchmark,
+// never shared. The returned error is non-nil only for setup failures or
+// cancellation (opts.Ctx); even then, results completed before the cut-off
+// and the cell errors recorded so far are returned alongside it.
+func RunAccuracyParallel(opts Options) ([]*BenchResult, []CellError, error) {
 	specs, err := opts.specs()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	out := make([]*BenchResult, len(specs))
-	err = forEachIndexed(len(specs), func(i int) error {
-		r, err := RunBenchmark(specs[i], gpusim.DefaultConfig(), opts)
-		if err != nil {
-			return fmt.Errorf("%s: %w", specs[i].Name, err)
+	rec := &cellRecorder{grid: "accuracy"}
+	err = forEachIndexed(opts.Ctx, len(specs), func(i int) error {
+		cellErr := runCell(func() error {
+			r, err := RunBenchmark(specs[i], gpusim.DefaultConfig(), opts)
+			if err != nil {
+				return err
+			}
+			opts.progress("# %-8s done (tbpoint err %.2f%%, size %.1f%%)",
+				r.Name, r.TBPointErr*100, r.TBPoint.SampleSize*100)
+			out[i] = r
+			return nil
+		})
+		if cellErr == nil {
+			return nil
 		}
-		opts.progress("# %-8s done (tbpoint err %.2f%%, size %.1f%%)",
-			r.Name, r.TBPointErr*100, r.TBPoint.SampleSize*100)
-		out[i] = r
+		if isCancellation(cellErr) {
+			return cellErr
+		}
+		rec.record(i, specs[i].Name, cellErr)
 		return nil
 	})
-	if err != nil {
-		return nil, err
+	var results []*BenchResult
+	for _, r := range out {
+		if r != nil {
+			results = append(results, r)
+		}
 	}
-	return out, nil
+	return results, rec.sorted(), err
 }
 
-// RunSensitivityParallel fans the (benchmark x configuration) grid out
-// over a worker pool; each cell is independent. Results follow the same
+// RunSensitivityParallel fans the (benchmark x configuration) grid out over
+// a worker pool with the same per-cell failure isolation as
+// RunAccuracyParallel; each cell is independent. Results follow the same
 // ordering as RunSensitivity (benchmarks in table order, configurations in
-// sweep order).
-func RunSensitivityParallel(opts Options) ([]SensResult, error) {
+// sweep order), with failed cells compacted out and reported as CellErrors.
+func RunSensitivityParallel(opts Options) ([]SensResult, []CellError, error) {
 	specs, err := opts.specs()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	configs := HWConfigs()
 	type cell struct {
@@ -86,32 +109,56 @@ func RunSensitivityParallel(opts Options) ([]SensResult, error) {
 		}
 	}
 	out := make([]SensResult, len(cells))
-	err = forEachIndexed(len(cells), func(i int) error {
+	done := make([]bool, len(cells))
+	rec := &cellRecorder{grid: "sensitivity"}
+	err = forEachIndexed(opts.Ctx, len(cells), func(i int) error {
 		c := cells[i]
-		p := preps[c.spec.Name]
-		cfg := gpusim.DefaultConfig().WithOccupancy(c.hc.Warps, c.hc.SMs)
-		sim, err := gpusim.New(cfg)
-		if err != nil {
-			return err
+		cellErr := runCell(func() error {
+			p := preps[c.spec.Name]
+			cfg := gpusim.DefaultConfig().WithOccupancy(c.hc.Warps, c.hc.SMs)
+			sim, err := gpusim.New(cfg)
+			if err != nil {
+				return err
+			}
+			full := fullAppCtx(opts.Ctx, sim, p.prof.App, opts.unitSize(p.prof.App.TotalWarpInsts()), nil)
+			if full.Aborted {
+				if err := ctxErr(opts.Ctx); err != nil {
+					return err
+				}
+				return context.Canceled
+			}
+			tbopts := opts.tbpointOptions()
+			tbopts.Ctx = opts.Ctx
+			res, err := core.Retarget(sim, p.prof, p.inter, tbopts)
+			if err != nil {
+				return err
+			}
+			out[i] = SensResult{
+				Bench:      c.spec.Name,
+				Type:       c.spec.Type,
+				Config:     c.hc,
+				Err:        res.Estimate.Error(full),
+				SampleSize: res.Estimate.SampleSize,
+			}
+			done[i] = true
+			opts.progress("# %-8s %-7s err %.2f%% size %.1f%%",
+				out[i].Bench, c.hc.Name(), out[i].Err*100, out[i].SampleSize*100)
+			return nil
+		})
+		if cellErr == nil {
+			return nil
 		}
-		full := FullApp(sim, p.prof.App, opts.unitSize(p.prof.App.TotalWarpInsts()))
-		res, err := core.Retarget(sim, p.prof, p.inter, opts.tbpointOptions())
-		if err != nil {
-			return err
+		if isCancellation(cellErr) {
+			return cellErr
 		}
-		out[i] = SensResult{
-			Bench:      c.spec.Name,
-			Type:       c.spec.Type,
-			Config:     c.hc,
-			Err:        res.Estimate.Error(full),
-			SampleSize: res.Estimate.SampleSize,
-		}
-		opts.progress("# %-8s %-7s err %.2f%% size %.1f%%",
-			out[i].Bench, c.hc.Name(), out[i].Err*100, out[i].SampleSize*100)
+		rec.record(i, fmt.Sprintf("%s/%s", c.spec.Name, c.hc.Name()), cellErr)
 		return nil
 	})
-	if err != nil {
-		return nil, err
+	var results []SensResult
+	for i := range cells {
+		if done[i] {
+			results = append(results, out[i])
+		}
 	}
-	return out, nil
+	return results, rec.sorted(), err
 }

@@ -87,7 +87,7 @@ func TestForEachIndexedLowestIndexError(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		Parallelism = workers
 		for trial := 0; trial < 10; trial++ {
-			err := forEachIndexed(16, func(i int) error {
+			err := forEachIndexed(nil, 16, func(i int) error {
 				if i%5 == 2 { // fails at 2, 7, 12
 					return fmt.Errorf("cell %d failed", i)
 				}

@@ -1,0 +1,168 @@
+// Package faultcheck provides deterministic, seeded fault injection for
+// the chaos tests: an Injector counts the calls made at one injection
+// point and fires exactly one fault — an error, a panic, or a slow path —
+// at a chosen (or seeded) call index.
+//
+// Everything is deterministic: the faulting call index is fixed at
+// construction (OnNth) or derived from a seed with a splitmix64 step
+// (Seeded), never from wall clock or global randomness, so a failing chaos
+// run reproduces bit-for-bit. Injectors are safe for concurrent use — the
+// call counter is atomic, so exactly one call observes the fault no matter
+// how many goroutines share the injection point.
+//
+// Typical use:
+//
+//	inj := faultcheck.OnNth(3, faultcheck.Error)
+//	err := par.ForEach(16, func(i int) error { return inj.Fire() })
+//	// exactly one index failed with faultcheck.ErrInjected
+package faultcheck
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// Mode selects what the injector does on the faulting call.
+type Mode int
+
+const (
+	// Error makes Fire return ErrInjected (wrapped with the call index).
+	Error Mode = iota
+	// Panic makes Fire panic with a faultcheck-tagged message.
+	Panic
+	// Slow makes Fire sleep for the configured delay, then succeed. It
+	// models a stalled-but-alive dependency (a hung disk, a slow cell).
+	Slow
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Error:
+		return "error"
+	case Panic:
+		return "panic"
+	case Slow:
+		return "slow"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// ErrInjected is the sentinel all injected errors wrap; test assertions
+// use errors.Is against it.
+var ErrInjected = errors.New("faultcheck: injected fault")
+
+// Injector fires one fault at a fixed call index. The zero value is
+// unusable; construct with OnNth or Seeded. A nil *Injector is the
+// disabled injector: Fire is a no-op returning nil, so production seams
+// can consult an injector variable unconditionally.
+type Injector struct {
+	mode  Mode
+	nth   int64
+	delay time.Duration
+	calls atomic.Int64
+	fired atomic.Int64
+}
+
+// OnNth returns an injector that faults on the nth Fire call (1-based;
+// n < 1 is clamped to 1).
+func OnNth(n int64, mode Mode) *Injector {
+	if n < 1 {
+		n = 1
+	}
+	return &Injector{mode: mode, nth: n, delay: time.Millisecond}
+}
+
+// Seeded returns an injector whose faulting call index is derived
+// deterministically from seed, uniform over [1, span] (span < 1 is
+// clamped to 1). Sweeping seeds moves the fault around the call space
+// without any test-side bookkeeping.
+func Seeded(seed uint64, span int64, mode Mode) *Injector {
+	if span < 1 {
+		span = 1
+	}
+	return OnNth(1+int64(splitmix64(seed)%uint64(span)), mode)
+}
+
+// splitmix64 is the standard 64-bit finalising mix (Steele et al.), enough
+// to decorrelate consecutive seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// WithDelay sets the Slow-mode sleep (default 1ms) and returns the
+// injector for chaining.
+func (in *Injector) WithDelay(d time.Duration) *Injector {
+	in.delay = d
+	return in
+}
+
+// Nth returns the 1-based call index the injector faults at.
+func (in *Injector) Nth() int64 { return in.nth }
+
+// Fire counts one call at the injection point and, on the faulting call,
+// applies the configured fault: Error mode returns an error wrapping
+// ErrInjected, Panic mode panics, Slow mode sleeps for the delay. Every
+// other call returns nil immediately. Nil receivers always return nil.
+func (in *Injector) Fire() error {
+	if in == nil {
+		return nil
+	}
+	call := in.calls.Add(1)
+	if call != in.nth {
+		return nil
+	}
+	in.fired.Add(1)
+	switch in.mode {
+	case Panic:
+		panic(fmt.Sprintf("faultcheck: injected panic at call %d", call))
+	case Slow:
+		time.Sleep(in.delay)
+		return nil
+	default:
+		return fmt.Errorf("%w (call %d)", ErrInjected, call)
+	}
+}
+
+// Calls returns the number of Fire calls made so far.
+func (in *Injector) Calls() int64 {
+	if in == nil {
+		return 0
+	}
+	return in.calls.Load()
+}
+
+// Fired reports whether the fault has been applied.
+func (in *Injector) Fired() bool {
+	if in == nil {
+		return false
+	}
+	return in.fired.Load() > 0
+}
+
+// faultyReader consults an injector before every Read, modelling a storage
+// layer that fails or stalls mid-stream.
+type faultyReader struct {
+	r  io.Reader
+	in *Injector
+}
+
+// Reader wraps r so that every Read first consults the injector: on the
+// faulting call an Error-mode injector fails the read, a Panic-mode one
+// panics, a Slow-mode one stalls it. Used to chaos-test the persist
+// readers against mid-stream I/O failure.
+func Reader(r io.Reader, in *Injector) io.Reader {
+	return &faultyReader{r: r, in: in}
+}
+
+func (f *faultyReader) Read(p []byte) (int, error) {
+	if err := f.in.Fire(); err != nil {
+		return 0, err
+	}
+	return f.r.Read(p)
+}

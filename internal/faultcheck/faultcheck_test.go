@@ -1,0 +1,153 @@
+package faultcheck
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestOnNthFiresExactlyOnce(t *testing.T) {
+	in := OnNth(3, Error)
+	var failed []int
+	for i := 0; i < 10; i++ {
+		if err := in.Fire(); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("error does not wrap ErrInjected: %v", err)
+			}
+			failed = append(failed, i)
+		}
+	}
+	if len(failed) != 1 || failed[0] != 2 {
+		t.Fatalf("faults at calls %v, want exactly call index 2 (3rd call)", failed)
+	}
+	if in.Calls() != 10 {
+		t.Fatalf("Calls() = %d, want 10", in.Calls())
+	}
+	if !in.Fired() {
+		t.Fatal("Fired() = false after fault")
+	}
+}
+
+func TestOnNthClampsBelowOne(t *testing.T) {
+	in := OnNth(-5, Error)
+	if in.Nth() != 1 {
+		t.Fatalf("Nth() = %d, want 1", in.Nth())
+	}
+	if err := in.Fire(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("first call err = %v, want ErrInjected", err)
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	in := OnNth(1, Panic)
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("Panic mode did not panic")
+		} else if s, ok := r.(string); !ok || !strings.Contains(s, "faultcheck") {
+			t.Fatalf("panic value %v not faultcheck-tagged", r)
+		}
+	}()
+	_ = in.Fire()
+}
+
+func TestSlowMode(t *testing.T) {
+	in := OnNth(1, Slow).WithDelay(10 * time.Millisecond)
+	start := time.Now()
+	if err := in.Fire(); err != nil {
+		t.Fatalf("Slow mode returned error: %v", err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("Slow fault returned after %v, want >= 10ms", d)
+	}
+	if !in.Fired() {
+		t.Fatal("Fired() = false after slow fault")
+	}
+}
+
+func TestSeededIsDeterministicAndInRange(t *testing.T) {
+	const span = 17
+	for seed := uint64(0); seed < 50; seed++ {
+		a, b := Seeded(seed, span, Error), Seeded(seed, span, Error)
+		if a.Nth() != b.Nth() {
+			t.Fatalf("seed %d: Nth differs between constructions: %d vs %d", seed, a.Nth(), b.Nth())
+		}
+		if a.Nth() < 1 || a.Nth() > span {
+			t.Fatalf("seed %d: Nth %d outside [1,%d]", seed, a.Nth(), span)
+		}
+	}
+	// Consecutive seeds should not all collapse to one index.
+	hits := map[int64]bool{}
+	for seed := uint64(0); seed < 50; seed++ {
+		hits[Seeded(seed, span, Error).Nth()] = true
+	}
+	if len(hits) < 2 {
+		t.Fatalf("50 seeds over span %d produced only %d distinct indices", span, len(hits))
+	}
+}
+
+func TestConcurrentFireIsExactlyOnce(t *testing.T) {
+	in := OnNth(40, Error)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	faults := 0
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if err := in.Fire(); err != nil {
+					mu.Lock()
+					faults++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if faults != 1 {
+		t.Fatalf("%d faults across 80 concurrent calls, want exactly 1", faults)
+	}
+}
+
+func TestNilInjectorIsDisabled(t *testing.T) {
+	var in *Injector
+	for i := 0; i < 3; i++ {
+		if err := in.Fire(); err != nil {
+			t.Fatalf("nil injector Fire() = %v, want nil", err)
+		}
+	}
+	if in.Calls() != 0 || in.Fired() {
+		t.Fatal("nil injector reported activity")
+	}
+}
+
+func TestReaderFailsMidStream(t *testing.T) {
+	src := strings.Repeat("x", 4096)
+	r := Reader(strings.NewReader(src), OnNth(2, Error))
+	buf := make([]byte, 1024)
+	if _, err := r.Read(buf); err != nil {
+		t.Fatalf("first read failed early: %v", err)
+	}
+	if _, err := r.Read(buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second read err = %v, want ErrInjected", err)
+	}
+}
+
+func TestReaderCleanWhenInjectorNil(t *testing.T) {
+	r := Reader(strings.NewReader("hello"), nil)
+	got, err := io.ReadAll(r)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("ReadAll = %q, %v", got, err)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	for m, want := range map[Mode]string{Error: "error", Panic: "panic", Slow: "slow", Mode(9): "Mode(9)"} {
+		if got := m.String(); got != want {
+			t.Fatalf("Mode(%d).String() = %q, want %q", int(m), got, want)
+		}
+	}
+}

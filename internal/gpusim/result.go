@@ -1,6 +1,10 @@
 package gpusim
 
-import "tbpoint/internal/metrics"
+import (
+	"context"
+
+	"tbpoint/internal/metrics"
+)
 
 // SMStat is the per-SM outcome of a launch simulation.
 type SMStat struct {
@@ -72,6 +76,13 @@ type LaunchResult struct {
 	// thread blocks contribute nothing here.
 	SimulatedWarpInsts int64
 
+	// Aborted reports that the run was cut short by RunOptions.Ctx. The
+	// result is then a consistent partial: every closed sampling unit is
+	// complete and counters cover exactly the simulated prefix, but the
+	// launch did not run to completion, so Cycles/IPC are not comparable
+	// to a full run's.
+	Aborted bool
+
 	// Memory system statistics.
 	L1Hits, L1Misses int64
 	L2Hits, L2Misses int64
@@ -122,6 +133,13 @@ type Hooks struct {
 // RunOptions configure one launch simulation.
 type RunOptions struct {
 	Hooks *Hooks
+	// Ctx, when non-nil, makes the run abortable: cancellation is polled at
+	// launch start and at every sampling-unit boundary (specified-TB and
+	// fixed-size units), and a cancelled run stops dispatching, returns
+	// early, and flags its partial LaunchResult as Aborted. A nil Ctx (or
+	// one that is never cancelled) leaves the simulation bit-identical to a
+	// run without it.
+	Ctx context.Context
 	// FixedUnitInsts, when positive, closes a FixedUnit every that many
 	// warp instructions.
 	FixedUnitInsts int64

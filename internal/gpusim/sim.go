@@ -314,6 +314,15 @@ type runState struct {
 	mc  *metrics.Collector
 	mct runCounters
 
+	// Cancellation (see RunOptions.Ctx). done is the context's Done channel
+	// (nil for unabortable runs, so the poll is a nil-channel select that
+	// always falls through); aborted latches once cancellation is observed.
+	// Polls happen only at launch start and sampling-unit boundaries, never
+	// on the per-instruction hot path, so an uncancelled run is bit-identical
+	// to one with no context at all.
+	done    <-chan struct{}
+	aborted bool
+
 	nextTB  int
 	totalTB int
 	liveTBs int
@@ -396,6 +405,11 @@ func (ar *runArena) reset(s *Simulator, prov trace.Provider, opts RunOptions) *r
 	}
 	rs.mc = opts.Metrics
 	rs.mct = runCounters{}
+	rs.done = nil
+	if opts.Ctx != nil {
+		rs.done = opts.Ctx.Done()
+	}
+	rs.aborted = false
 	rs.mem.setMetrics(opts.Metrics)
 	rs.res = &LaunchResult{SMs: make([]SMStat, s.cfg.NumSMs)}
 	rs.occ = 0
@@ -468,6 +482,7 @@ func (s *Simulator) RunLaunchProvider(l *kernel.Launch, prov trace.Provider, opt
 	rs.opts = RunOptions{}
 	rs.hk = nil
 	rs.mc = nil
+	rs.done = nil
 	rs.mem.setMetrics(nil)
 	s.arenas.Put(ar)
 	return res
@@ -475,26 +490,44 @@ func (s *Simulator) RunLaunchProvider(l *kernel.Launch, prov trace.Provider, opt
 
 func (rs *runState) hooks() *Hooks { return rs.hk }
 
+// checkAbort polls the run's cancellation channel (a no-op for runs without
+// one) and latches rs.aborted. Called at launch start and from the
+// sampling-unit close paths — the boundaries RunOptions.Ctx documents.
+func (rs *runState) checkAbort() {
+	if rs.done == nil || rs.aborted {
+		return
+	}
+	select {
+	case <-rs.done:
+		rs.aborted = true
+	default:
+	}
+}
+
 func (rs *runState) run() {
-	// Initial greedy fill: round-robin one block per SM until every SM is
-	// at occupancy or blocks run out.
-	for round := 0; round < rs.occ; round++ {
-		for i := range rs.sms {
-			if sm := &rs.sms[i]; sm.resident < rs.occ {
-				rs.dispatchOne(sm)
+	rs.checkAbort()
+	if !rs.aborted {
+		// Initial greedy fill: round-robin one block per SM until every SM
+		// is at occupancy or blocks run out.
+		for round := 0; round < rs.occ; round++ {
+			for i := range rs.sms {
+				if sm := &rs.sms[i]; sm.resident < rs.occ {
+					rs.dispatchOne(sm)
+				}
 			}
 		}
-	}
 
-	// Seed the schedule: SMs with a warp ready at cycle 0 enter the ready
-	// mask, the rest park (wheel or calendar) at their earliest wake.
-	for i := range rs.sms {
-		sm := &rs.sms[i]
-		sm.drainWakes(rs.cycle)
-		if sm.hasReady() {
-			rs.ready[i>>6] |= 1 << (uint(i) & 63)
-		} else if c, ok := sm.wakes.peek(); ok {
-			rs.parkSM(int32(i), c)
+		// Seed the schedule: SMs with a warp ready at cycle 0 enter the
+		// ready mask, the rest park (wheel or calendar) at their earliest
+		// wake.
+		for i := range rs.sms {
+			sm := &rs.sms[i]
+			sm.drainWakes(rs.cycle)
+			if sm.hasReady() {
+				rs.ready[i>>6] |= 1 << (uint(i) & 63)
+			} else if c, ok := sm.wakes.peek(); ok {
+				rs.parkSM(int32(i), c)
+			}
 		}
 	}
 
@@ -507,7 +540,7 @@ func (rs *runState) run() {
 	// SMs are processed in ascending id, exactly the order of the
 	// per-cycle scan this replaces — results are bit-identical.
 	words := rs.maskWords
-	for rs.liveTBs > 0 {
+	for rs.liveTBs > 0 && !rs.aborted {
 		slot := int(rs.cycle) & wheelMask
 		bkt := rs.wheel[slot*words : (slot+1)*words]
 		if rs.mc != nil {
@@ -568,12 +601,14 @@ func (rs *runState) run() {
 		rs.cycle++
 	}
 
-	// Close the trailing fixed unit, if any.
-	if rs.opts.FixedUnitInsts > 0 && rs.totalIssued > rs.fixedStartInsts {
+	// Close the trailing fixed unit, if any. An aborted run keeps only the
+	// units that closed completely before the abort.
+	if !rs.aborted && rs.opts.FixedUnitInsts > 0 && rs.totalIssued > rs.fixedStartInsts {
 		rs.closeFixedUnit()
 	}
 
 	res := rs.res
+	res.Aborted = rs.aborted
 	res.Cycles = rs.cycle
 	for i := range rs.sms {
 		res.SMs[i] = SMStat{WarpInsts: rs.sms[i].warpInsts, Cycles: rs.sms[i].lastCycle}
@@ -866,7 +901,9 @@ func (rs *runState) retireTB(tb *tbState) {
 		rs.closeUnit(retireCycle, tb.id)
 	}
 	rs.free = append(rs.free, tb.slot)
-	rs.dispatchOne(sm)
+	if !rs.aborted {
+		rs.dispatchOne(sm)
+	}
 }
 
 func (rs *runState) closeUnit(cycle int64, tbID int) {
@@ -885,6 +922,7 @@ func (rs *runState) closeUnit(cycle int64, tbID int) {
 	rs.unitStartInsts = rs.totalIssued
 	rs.specified = -1
 	rs.pendingSpecify = true
+	rs.checkAbort()
 }
 
 func (rs *runState) closeFixedUnit() {
@@ -902,4 +940,5 @@ func (rs *runState) closeFixedUnit() {
 	rs.res.FixedUnits = append(rs.res.FixedUnits, f)
 	rs.fixedStartInsts = rs.totalIssued
 	rs.fixedStartCycle = rs.cycle + 1
+	rs.checkAbort()
 }

@@ -1,0 +1,205 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tbpoint/internal/faultcheck"
+	"tbpoint/internal/metrics"
+)
+
+func TestForEachCtxNilBehavesLikeForEach(t *testing.T) {
+	withLimit(t, 2)
+	var hits [20]atomic.Int32
+	if err := ForEachCtx(nil, len(hits), func(i int) error {
+		hits[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("index %d ran %d times", i, hits[i].Load())
+		}
+	}
+}
+
+func TestForEachCtxPreCancelledRunsNothing(t *testing.T) {
+	withLimit(t, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	err := ForEachCtx(ctx, 10, func(i int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got != 0 {
+		t.Fatalf("%d tasks ran on a pre-cancelled context", got)
+	}
+}
+
+func TestForEachCtxCancelStopsClaimingIndices(t *testing.T) {
+	withLimit(t, 1) // sequential: exact claim order is pinned
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran atomic.Int32
+	err := ForEachCtx(ctx, 100, func(i int) error {
+		ran.Add(1)
+		if i == 2 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got != 3 {
+		t.Fatalf("%d tasks ran after cancel at index 2, want 3", got)
+	}
+}
+
+func TestForEachCtxTaskErrorBeatsContextError(t *testing.T) {
+	withLimit(t, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	boom := fmt.Errorf("boom")
+	err := ForEachCtx(ctx, 10, func(i int) error {
+		if i == 1 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the task error to outrank ctx.Err()", err)
+	}
+}
+
+func TestForEachCtxNoGoroutineLeakAfterCancel(t *testing.T) {
+	withLimit(t, 8)
+	before := runtime.NumGoroutine()
+	for trial := 0; trial < 20; trial++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		_ = ForEachCtx(ctx, 64, func(i int) error {
+			if i == 5 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+	}
+	// Extra workers are joined before ForEachCtx returns, so the count
+	// settles back immediately; poll briefly to absorb runtime jitter.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: before %d, after %d", before, runtime.NumGoroutine())
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestForEachPanicBecomesLowestIndexError(t *testing.T) {
+	for _, limit := range []int{1, 4} {
+		withLimit(t, limit)
+		var ran atomic.Int32
+		err := ForEach(10, func(i int) error {
+			ran.Add(1)
+			if i == 3 || i == 7 {
+				panic(fmt.Sprintf("kaboom-%d", i))
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("limit %d: err = %v, want *PanicError", limit, err)
+		}
+		if fmt.Sprint(pe.Value) != "kaboom-3" {
+			t.Fatalf("limit %d: panic value %v, want kaboom-3 (lowest index)", limit, pe.Value)
+		}
+		if len(pe.Stack) == 0 {
+			t.Fatalf("limit %d: PanicError carries no stack", limit)
+		}
+		if got := ran.Load(); got != 10 {
+			t.Fatalf("limit %d: %d of 10 tasks ran after panic", limit, got)
+		}
+	}
+}
+
+func TestForEachPanicOnSingleTaskFastPath(t *testing.T) {
+	err := ForEach(1, func(i int) error { panic("solo") })
+	var pe *PanicError
+	if !errors.As(err, &pe) || fmt.Sprint(pe.Value) != "solo" {
+		t.Fatalf("err = %v, want *PanicError(solo)", err)
+	}
+}
+
+func TestSetLimitClampsNegative(t *testing.T) {
+	SetLimit(-3)
+	t.Cleanup(func() { SetLimit(0) })
+	if got := Limit(); got != 1 {
+		t.Fatalf("Limit() after SetLimit(-3) = %d, want 1 (clamped sequential)", got)
+	}
+}
+
+func TestStatsLoopsOnlyCountsFannedOutLoops(t *testing.T) {
+	withLimit(t, 1) // budget 1 admits zero extras: nothing fans out
+	ResetStats()
+	t.Cleanup(ResetStats)
+	if err := ForEach(10, func(i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	c := metrics.New()
+	StatsInto(c)
+	if got := c.Count(metrics.ParLoops); got != 0 {
+		t.Fatalf("par.loops = %d at limit 1, want 0 (no extra worker acquired)", got)
+	}
+}
+
+// TestChaosParSeededFaults sweeps deterministic fault injection — error and
+// panic, at seeded call positions — through ForEach and ForEachCtx and
+// asserts every run degrades to a normal error return with all indices
+// attempted and no goroutine leaked.
+func TestChaosParSeededFaults(t *testing.T) {
+	const n = 32
+	for _, limit := range []int{1, 4} {
+		withLimit(t, limit)
+		for _, mode := range []faultcheck.Mode{faultcheck.Error, faultcheck.Panic} {
+			for seed := uint64(0); seed < 8; seed++ {
+				inj := faultcheck.Seeded(seed, n, mode)
+				var ran atomic.Int32
+				err := ForEachCtx(context.Background(), n, func(i int) error {
+					ran.Add(1)
+					return inj.Fire()
+				})
+				if err == nil {
+					t.Fatalf("limit %d mode %v seed %d: fault swallowed", limit, mode, seed)
+				}
+				if mode == faultcheck.Error && !errors.Is(err, faultcheck.ErrInjected) {
+					t.Fatalf("limit %d seed %d: err = %v, want ErrInjected", limit, seed, err)
+				}
+				if mode == faultcheck.Panic {
+					var pe *PanicError
+					if !errors.As(err, &pe) {
+						t.Fatalf("limit %d seed %d: err = %v, want *PanicError", limit, seed, err)
+					}
+				}
+				if got := ran.Load(); got != n {
+					t.Fatalf("limit %d mode %v seed %d: %d of %d indices attempted", limit, mode, seed, got, n)
+				}
+			}
+		}
+	}
+}

@@ -14,10 +14,24 @@
 // total concurrency never exceeds Limit, and with Limit 1 every loop in the
 // process degrades to plain sequential in-index-order execution — which is
 // what the determinism tests pin against.
+//
+// Two failure-isolation guarantees hold on every path:
+//
+//   - A panicking task never kills the process from an extra-worker
+//     goroutine: panics are recovered at the task boundary and surface as a
+//     *PanicError carrying the panic value and stack, ranked like any other
+//     task error.
+//   - ForEachCtx stops claiming new indices once its context is cancelled.
+//     Tasks already running finish (fn is never interrupted mid-flight),
+//     all extra workers are joined before return, and the loop reports the
+//     lowest-index task error, or the context's error if no task failed.
 package par
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -34,11 +48,25 @@ var (
 // start (or the last ResetStats) and are maintained with atomics because
 // loops run concurrently; read them through StatsInto.
 var (
-	statLoops        atomic.Int64 // ForEach calls that actually fanned out (n > 1)
+	statLoops        atomic.Int64 // loops that acquired at least one extra worker
 	statTasks        atomic.Int64 // fn invocations across all loops
 	statExtraWorkers atomic.Int64 // extra-worker goroutines spawned
 	statDenied       atomic.Int64 // tryAcquire calls rejected by the budget
 )
+
+// PanicError is a task panic converted to an error at the worker boundary.
+// Recovering here (rather than letting the panic unwind) is load-bearing:
+// a panic on an extra-worker goroutine has no caller frame to recover it
+// and would kill the whole process. Stack is the panicking goroutine's
+// stack, captured at recovery.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("par: task panicked: %v", e.Value)
+}
 
 // StatsInto adds the package's cumulative utilisation counters to c:
 // par.loops, par.tasks, par.extra_workers and par.acquire_denied. A nil
@@ -63,9 +91,14 @@ func ResetStats() {
 }
 
 // SetLimit sets the shared worker budget. Zero (the default) means
-// GOMAXPROCS; one disables parallelism entirely. Loops already in flight
-// keep the workers they hold, but acquire no new ones beyond the new limit.
+// GOMAXPROCS; one disables parallelism entirely; negative values are
+// clamped to one (sequential) rather than silently meaning "GOMAXPROCS".
+// Loops already in flight keep the workers they hold, but acquire no new
+// ones beyond the new limit.
 func SetLimit(n int) {
+	if n < 0 {
+		n = 1
+	}
 	mu.Lock()
 	lim = n
 	mu.Unlock()
@@ -104,36 +137,69 @@ func release() {
 	mu.Unlock()
 }
 
+// invoke runs one task, converting a panic into a *PanicError so that a
+// faulty task degrades to an ordinary per-index error on every execution
+// path (caller-runs and extra-worker alike).
+func invoke(fn func(i int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(i)
+}
+
 // ForEach runs fn(i) for every i in [0, n), fanning out over the shared
 // worker budget. It always runs work on the calling goroutine and never
 // blocks waiting for budget: if no extra workers are available the loop is
 // simply sequential. All indices are attempted even after a failure (so
 // result slices are fully populated and no goroutine leaks), and the
 // returned error is the one from the LOWEST failing index — deterministic
-// regardless of worker interleaving.
+// regardless of worker interleaving. A panicking task surfaces as a
+// *PanicError at its index instead of crashing the process.
 func ForEach(n int, fn func(i int) error) error {
+	return forEach(nil, n, fn)
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: once ctx is
+// cancelled no new index is claimed, in-flight tasks run to completion,
+// and all extra workers are joined before return. The returned error is
+// the lowest-index task error if any task failed, else ctx.Err() if the
+// loop was cut short, else nil. A nil ctx behaves exactly like ForEach.
+func ForEachCtx(ctx context.Context, n int, fn func(i int) error) error {
+	return forEach(ctx, n, fn)
+}
+
+func forEach(ctx context.Context, n int, fn func(i int) error) error {
+	cancelled := func() bool {
+		return ctx != nil && ctx.Err() != nil
+	}
 	if n <= 0 {
 		return nil
 	}
+	if cancelled() {
+		return ctx.Err()
+	}
 	if n == 1 {
 		statTasks.Add(1)
-		return fn(0)
+		return invoke(fn, 0)
 	}
-	statLoops.Add(1)
 	errs := make([]error, n)
 	var next atomic.Int64
 	work := func() {
-		for {
+		for !cancelled() {
 			i := int(next.Add(1)) - 1
 			if i >= n {
 				return
 			}
 			statTasks.Add(1)
-			errs[i] = fn(i)
+			errs[i] = invoke(fn, i)
 		}
 	}
 	var wg sync.WaitGroup
-	for k := 1; k < n && tryAcquire(); k++ {
+	fanned := false
+	for k := 1; k < n && !cancelled() && tryAcquire(); k++ {
+		fanned = true
 		statExtraWorkers.Add(1)
 		wg.Add(1)
 		go func() {
@@ -142,12 +208,18 @@ func ForEach(n int, fn func(i int) error) error {
 			work()
 		}()
 	}
+	if fanned {
+		statLoops.Add(1)
+	}
 	work()
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
 			return err
 		}
+	}
+	if cancelled() {
+		return ctx.Err()
 	}
 	return nil
 }

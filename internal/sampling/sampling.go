@@ -16,16 +16,25 @@ import (
 )
 
 // AppRun aggregates the full (reference) simulation of an application:
-// one LaunchResult per kernel launch.
+// one LaunchResult per kernel launch. A cancelled reference run may leave
+// nil entries (launches never started) and set Aborted; the aggregate
+// accessors skip nil launches so partial runs can still be inspected, but
+// an aborted run's totals cover only the simulated prefix.
 type AppRun struct {
 	Launches []*gpusim.LaunchResult
+	// Aborted reports that the reference simulation was cut short by a
+	// cancelled context: some launches may be nil or individually flagged
+	// Aborted.
+	Aborted bool
 }
 
 // TotalInsts returns the warp instructions simulated across all launches.
 func (a *AppRun) TotalInsts() int64 {
 	var n int64
 	for _, l := range a.Launches {
-		n += l.SimulatedWarpInsts
+		if l != nil {
+			n += l.SimulatedWarpInsts
+		}
 	}
 	return n
 }
@@ -34,7 +43,9 @@ func (a *AppRun) TotalInsts() int64 {
 func (a *AppRun) TotalCycles() int64 {
 	var c int64
 	for _, l := range a.Launches {
-		c += l.Cycles
+		if l != nil {
+			c += l.Cycles
+		}
 	}
 	return c
 }
@@ -52,15 +63,17 @@ func (a *AppRun) IPC() float64 {
 // application: for each SM, its total instructions divided by its total
 // cycles, summed over SMs.
 func (a *AppRun) OverallIPC() float64 {
-	if len(a.Launches) == 0 {
-		return 0
+	numSMs := 0
+	for _, l := range a.Launches {
+		if l != nil && len(l.SMs) > numSMs {
+			numSMs = len(l.SMs)
+		}
 	}
-	numSMs := len(a.Launches[0].SMs)
 	var total float64
 	for sm := 0; sm < numSMs; sm++ {
 		var insts, cycles int64
 		for _, l := range a.Launches {
-			if sm < len(l.SMs) {
+			if l != nil && sm < len(l.SMs) {
 				insts += l.SMs[sm].WarpInsts
 				cycles += l.SMs[sm].Cycles
 			}
@@ -78,6 +91,9 @@ func (a *AppRun) AllFixedUnits() ([]gpusim.FixedUnit, []int) {
 	var units []gpusim.FixedUnit
 	var launchOf []int
 	for li, l := range a.Launches {
+		if l == nil {
+			continue
+		}
 		for _, u := range l.FixedUnits {
 			units = append(units, u)
 			launchOf = append(launchOf, li)

@@ -8,6 +8,9 @@
 #   race    race-detector pass over the packages that run simulations
 #           concurrently (the shared worker budget fans launches and
 #           benchmark cells out over goroutines; see DESIGN.md)
+#   chaos   the cancellation/fault-injection suite (internal/faultcheck
+#           driven): mid-run cancellation, per-cell panic isolation, and
+#           corrupted-input handling across par, gpusim, core, experiments
 #   fuzz    10s fuzz smoke over each existing fuzz target
 #   golden  cmd/goldencheck re-runs the five determinism benchmarks and
 #           diffs the full metrics counter set against testdata goldens
@@ -54,6 +57,15 @@ run_fuzz() {
   # target at a time. -run='^$' keeps the smoke from re-running unit tests.
   go test -run='^$' -fuzz='^FuzzRead$' -fuzztime=10s ./internal/trace/
   go test -run='^$' -fuzz='^FuzzReadRegionTable$' -fuzztime=10s ./internal/core/
+  go test -run='^$' -fuzz='^FuzzReadProfiles$' -fuzztime=10s ./internal/core/
+}
+
+run_chaos() {
+  # -count=1 defeats the test cache: chaos tests exercise timing-dependent
+  # cancellation paths and should actually run on every CI invocation.
+  go test -count=1 -run 'Chaos|Cancel|Abort|Panic' \
+    ./internal/faultcheck/ ./internal/par/ ./internal/gpusim/ \
+    ./internal/core/ ./internal/experiments/
 }
 
 run_bench() {
@@ -69,6 +81,7 @@ stage vet go vet ./...
 stage build go build ./...
 stage test go test ./...
 stage race go test -race ./internal/gpusim/ ./internal/experiments/ ./internal/core/ ./internal/par/
+stage chaos run_chaos
 if [[ "$FAST" == "0" && "${SKIP_FUZZ:-0}" != "1" ]]; then
   stage fuzz run_fuzz
 fi

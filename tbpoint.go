@@ -29,6 +29,7 @@
 package tbpoint
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -203,14 +204,31 @@ func FullSimulation(sim *Simulator, app *App, unitInsts int64) *AppRun {
 // counters collected into mc and the total wall time recorded as the
 // full_reference phase (nil mc behaves exactly like FullSimulation).
 func FullSimulationMetrics(sim *Simulator, app *App, unitInsts int64, mc *Collector) *AppRun {
+	return FullSimulationCtx(nil, sim, app, unitInsts, mc)
+}
+
+// FullSimulationCtx is FullSimulationMetrics with cancellation: once ctx is
+// cancelled no further launches start and the in-flight one aborts at its
+// next sampling-unit boundary, returning a partial AppRun flagged Aborted
+// (launches never started stay nil). A nil or never-cancelled ctx behaves
+// exactly like FullSimulationMetrics, bit for bit.
+func FullSimulationCtx(ctx context.Context, sim *Simulator, app *App, unitInsts int64, mc *Collector) *AppRun {
 	defer mc.StartPhase("full_reference").Stop()
-	run := &sampling.AppRun{}
-	for _, l := range app.Launches {
-		run.Launches = append(run.Launches, sim.RunLaunch(l, gpusim.RunOptions{
+	run := &sampling.AppRun{Launches: make([]*gpusim.LaunchResult, len(app.Launches))}
+	for i, l := range app.Launches {
+		if ctx != nil && ctx.Err() != nil {
+			run.Aborted = true
+			break
+		}
+		run.Launches[i] = sim.RunLaunch(l, gpusim.RunOptions{
 			FixedUnitInsts: unitInsts,
 			CollectBBV:     unitInsts > 0,
 			Metrics:        mc,
-		}))
+			Ctx:            ctx,
+		})
+		if run.Launches[i].Aborted {
+			run.Aborted = true
+		}
 	}
 	return run
 }
