@@ -7,6 +7,12 @@
 // Targets: table1 table6 fig5 fig8 fig9 fig10 fig11 fig12 fig13 accuracy
 // sensitivity all. "accuracy" prints fig9+fig10+fig11 from one run;
 // "sensitivity" prints fig12+fig13 from one run; "all" runs everything.
+//
+// Long grids are restartable: -checkpoint-dir journals each completed grid
+// cell atomically and -resume replays the journal instead of re-simulating,
+// reproducing an uninterrupted run's -json output byte for byte. -retries
+// and -cell-deadline bound how hard a failing cell is pushed before it is
+// recorded in the results' errors section.
 package main
 
 import (
@@ -14,14 +20,18 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
+	"tbpoint/internal/durable"
 	"tbpoint/internal/experiments"
+	"tbpoint/internal/faultcheck"
 	"tbpoint/internal/metrics"
 	"tbpoint/internal/par"
 )
@@ -39,6 +49,10 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	benchJSON := flag.String("bench-json", "", "measure simulator throughput and write BENCH-style JSON to this file (no target needed)")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit); partial results are still written")
+	checkpointDir := flag.String("checkpoint-dir", "", "journal each completed grid cell into this directory (atomic, checksummed)")
+	resume := flag.Bool("resume", false, "skip grid cells already journaled in -checkpoint-dir instead of re-running them")
+	retries := flag.Int("retries", 1, "attempts per grid cell before its failure is recorded (exponential backoff with seeded jitter)")
+	cellDeadline := flag.Duration("cell-deadline", 0, "wall-time budget per grid cell, all attempts together (0 = no limit)")
 	flag.Parse()
 	experiments.Parallelism = *parN
 
@@ -89,15 +103,10 @@ func main() {
 		}()
 	}
 	if *benchJSON != "" {
-		f, err := os.Create(*benchJSON)
+		err := durable.WriteFile(*benchJSON, func(w io.Writer) error {
+			return experiments.WriteThroughputJSON(w, 2*time.Second)
+		})
 		if err != nil {
-			fail(err)
-		}
-		if err := experiments.WriteThroughputJSON(f, 2*time.Second); err != nil {
-			f.Close()
-			fail(err)
-		}
-		if err := f.Close(); err != nil {
 			fail(err)
 		}
 		if flag.NArg() == 0 {
@@ -126,6 +135,44 @@ func main() {
 		opts.Metrics = mc
 		par.ResetStats()
 	}
+
+	// Checkpoint/resume: every completed grid cell is journaled so a
+	// crashed or killed run never redoes finished work. The env hook
+	// injects a real process death at the Nth checkpoint write — the CI
+	// crash-recovery case uses it to prove kill-and-resume reproduces an
+	// uninterrupted run bit for bit.
+	var store *durable.Store
+	if *checkpointDir != "" {
+		var err error
+		store, err = durable.Open(*checkpointDir)
+		if err != nil {
+			fail(err)
+		}
+		if q := store.Quarantined(); q > 0 {
+			fmt.Fprintf(os.Stderr, "experiments: quarantined %d corrupted checkpoint file(s) in %s\n",
+				q, *checkpointDir)
+		}
+		if env := os.Getenv("TBPOINT_CRASH_AFTER_CHECKPOINTS"); env != "" {
+			n, err := strconv.ParseInt(env, 10, 64)
+			if err != nil {
+				fail(fmt.Errorf("TBPOINT_CRASH_AFTER_CHECKPOINTS=%q: %v", env, err))
+			}
+			store.Fault = faultcheck.OnNth(n, faultcheck.Crash).WithCrashFn(func() {
+				fmt.Fprintln(os.Stderr, "experiments: injected crash (TBPOINT_CRASH_AFTER_CHECKPOINTS)")
+				os.Exit(3)
+			})
+		}
+		opts.Checkpoint = store
+		opts.Resume = *resume
+		if *resume {
+			fmt.Fprintf(os.Stderr, "experiments: resuming from %s: %d cell(s) journaled\n",
+				*checkpointDir, store.Len())
+		}
+	} else if *resume {
+		fail(errors.New("-resume requires -checkpoint-dir"))
+	}
+	opts.Retry = experiments.RetryPolicy{Attempts: *retries, Seed: opts.Seed}
+	opts.CellDeadline = *cellDeadline
 
 	want := map[string]bool{}
 	for _, t := range targets {
@@ -253,6 +300,10 @@ func main() {
 	if len(bundle.Errors) > 0 {
 		fmt.Fprintf(os.Stderr, "experiments: %d grid cell(s) failed; see the errors section of -json output\n", len(bundle.Errors))
 	}
+	if store != nil {
+		fmt.Fprintf(os.Stderr, "experiments: resumed %d cell(s) from checkpoint, journaled %d new\n",
+			store.Hits(), store.Writes())
+	}
 
 	if mc != nil {
 		par.StatsInto(mc)
@@ -263,32 +314,16 @@ func main() {
 			if err := snap.WriteJSON(os.Stdout); err != nil {
 				fail(err)
 			}
-		} else {
-			f, err := os.Create(*metricsJSON)
-			if err != nil {
-				fail(err)
-			}
-			if err := snap.WriteJSON(f); err != nil {
-				f.Close()
-				fail(err)
-			}
-			if err := f.Close(); err != nil {
-				fail(err)
-			}
+		} else if err := durable.WriteFile(*metricsJSON, snap.WriteJSON); err != nil {
+			fail(err)
 		}
 		snap.WriteText(os.Stdout)
 	}
 
+	// Atomic even on the SIGINT/-timeout path: a partial bundle is either
+	// fully on disk or not there at all, never a torn JSON prefix.
 	if *jsonPath != "" {
-		f, err := os.Create(*jsonPath)
-		if err != nil {
-			fail(err)
-		}
-		if err := bundle.WriteJSON(f); err != nil {
-			f.Close()
-			fail(err)
-		}
-		if err := f.Close(); err != nil {
+		if err := experiments.WriteResultsFile(*jsonPath, bundle); err != nil {
 			fail(err)
 		}
 	}

@@ -24,9 +24,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
+	"tbpoint/internal/durable"
 	"tbpoint/internal/gpusim"
 	"tbpoint/internal/metrics"
 	"tbpoint/internal/par"
@@ -170,17 +172,12 @@ func main() {
 		if err := os.MkdirAll(dirOf(*goldenPath), 0o755); err != nil {
 			fail("%v", err)
 		}
-		f, err := os.Create(*goldenPath)
+		err := durable.WriteFile(*goldenPath, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(got)
+		})
 		if err != nil {
-			fail("%v", err)
-		}
-		enc := json.NewEncoder(f)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(got); err != nil {
-			f.Close()
-			fail("%v", err)
-		}
-		if err := f.Close(); err != nil {
 			fail("%v", err)
 		}
 		fmt.Printf("goldencheck: wrote %d cases to %s\n", len(got), *goldenPath)

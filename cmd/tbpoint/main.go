@@ -18,12 +18,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
 	"sort"
 
 	"tbpoint"
+	"tbpoint/internal/durable"
 )
 
 func main() {
@@ -99,12 +101,8 @@ func main() {
 
 	var prof *tbpoint.AppProfile
 	if *loadProfile != "" {
-		f, err := os.Open(*loadProfile)
-		if err != nil {
-			log.Fatal(err)
-		}
-		prof, err = tbpoint.LoadProfile(f, app)
-		f.Close()
+		var err error
+		prof, err = tbpoint.LoadProfileFile(*loadProfile, app)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -113,15 +111,7 @@ func main() {
 		prof = tbpoint.ProfileMetrics(app, mc)
 	}
 	if *saveProfile != "" {
-		f, err := os.Create(*saveProfile)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := tbpoint.SaveProfile(f, prof); err != nil {
-			f.Close()
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
+		if err := tbpoint.SaveProfileFile(*saveProfile, prof); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("one-time profile saved to %s\n", *saveProfile)
@@ -136,15 +126,10 @@ func main() {
 	if *dumpRegions != "" {
 		for rep, rt := range res.Tables {
 			path := fmt.Sprintf("%s.%d.json", *dumpRegions, rep)
-			f, err := os.Create(path)
+			err := durable.WriteFile(path, func(w io.Writer) error {
+				return tbpoint.WriteRegionTable(w, rt)
+			})
 			if err != nil {
-				log.Fatal(err)
-			}
-			if err := tbpoint.WriteRegionTable(f, rt); err != nil {
-				f.Close()
-				log.Fatal(err)
-			}
-			if err := f.Close(); err != nil {
 				log.Fatal(err)
 			}
 			fmt.Printf("region table of launch %d written to %s\n", rep, path)
@@ -187,15 +172,7 @@ func main() {
 				log.Fatal(err)
 			}
 		} else if *metricsJSON != "" {
-			f, err := os.Create(*metricsJSON)
-			if err != nil {
-				log.Fatal(err)
-			}
-			if err := snap.WriteJSON(f); err != nil {
-				f.Close()
-				log.Fatal(err)
-			}
-			if err := f.Close(); err != nil {
+			if err := durable.WriteFile(*metricsJSON, snap.WriteJSON); err != nil {
 				log.Fatal(err)
 			}
 			fmt.Printf("\nmetrics snapshot written to %s\n", *metricsJSON)

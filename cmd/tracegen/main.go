@@ -15,10 +15,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
 	"tbpoint"
+	"tbpoint/internal/durable"
 	"tbpoint/internal/trace"
 )
 
@@ -77,19 +79,13 @@ func record(args []string) {
 		usage()
 	}
 	prov := buildProvider(*bench, *launch, *scale)
-	f, err := os.Create(*out)
-	if err != nil {
-		log.Fatal(err)
-	}
 	write := trace.Write
 	if *gz {
 		write = trace.WriteGzip
 	}
-	if err := write(f, prov); err != nil {
-		f.Close()
-		log.Fatal(err)
-	}
-	if err := f.Close(); err != nil {
+	if err := durable.WriteFile(*out, func(w io.Writer) error {
+		return write(w, prov)
+	}); err != nil {
 		log.Fatal(err)
 	}
 	st, _ := os.Stat(*out)

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 
+	"tbpoint/internal/durable"
 	"tbpoint/internal/funcsim"
 )
 
@@ -112,6 +114,32 @@ func WriteProfiles(w io.Writer, appName string, profiles []*funcsim.LaunchProfil
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(f)
+}
+
+// profileKind is the durable-envelope kind of saved profile files.
+const profileKind = "profile"
+
+// WriteProfilesFile persists a one-time profile to path atomically inside
+// the durable envelope: a crash mid-save leaves any previous profile
+// intact, and later damage is detected on load rather than half parsed.
+func WriteProfilesFile(path, appName string, profiles []*funcsim.LaunchProfile) error {
+	var buf bytes.Buffer
+	if err := WriteProfiles(&buf, appName, profiles); err != nil {
+		return err
+	}
+	return durable.WriteEnvelopeFile(path, profileKind, buf.Bytes())
+}
+
+// ReadProfilesFile loads a profile saved by WriteProfilesFile, verifying
+// the envelope first: a truncated file surfaces as durable.ErrTruncated
+// and a byte-flipped one as durable.ErrCorrupt, instead of a JSON parse
+// error deep in the payload (or, worse, silently wrong counters).
+func ReadProfilesFile(path, appName string) ([]*funcsim.LaunchProfile, error) {
+	payload, err := durable.ReadEnvelopeFile(path, profileKind)
+	if err != nil {
+		return nil, err
+	}
+	return ReadProfiles(bytes.NewReader(payload), appName)
 }
 
 // ReadProfiles loads a one-time profile, checking the application name.

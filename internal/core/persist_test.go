@@ -2,9 +2,13 @@ package core
 
 import (
 	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
+	"tbpoint/internal/durable"
 	"tbpoint/internal/funcsim"
 	"tbpoint/internal/kernel"
 )
@@ -109,5 +113,60 @@ func TestProfilesRejectBadInput(t *testing.T) {
 	}
 	if _, err := ReadProfiles(strings.NewReader(`{"format":"nope"}`), ""); err == nil {
 		t.Error("wrong format accepted")
+	}
+}
+
+// TestProfilesFileDurableRoundTrip covers the envelope-wrapped on-disk form
+// (-save-profile/-load-profile): a clean round trip, then a byte flip and a
+// truncation, each of which must surface as the matching typed error rather
+// than a half-parsed profile.
+func TestProfilesFileDurableRoundTrip(t *testing.T) {
+	k := phasedKernel()
+	app := &kernel.App{Name: "durable", Launches: []*kernel.Launch{
+		uniformLaunch(k, 20, 8, 2),
+		uniformLaunch(k, 10, 4, 6),
+	}}
+	prof := ProfileApp(app)
+	path := filepath.Join(t.TempDir(), "durable.profile")
+	if err := WriteProfilesFile(path, app.Name, prof.Profiles); err != nil {
+		t.Fatal(err)
+	}
+
+	back, err := ReadProfilesFile(path, app.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(prof.Profiles) {
+		t.Fatalf("launch count %d, want %d", len(back), len(prof.Profiles))
+	}
+	for li := range back {
+		for tb := range back[li].Blocks {
+			if back[li].Blocks[tb] != prof.Profiles[li].Blocks[tb] {
+				t.Fatalf("launch %d block %d differs after file round trip", li, tb)
+			}
+		}
+	}
+	if _, err := ReadProfilesFile(path, "other"); err == nil {
+		t.Error("app name mismatch accepted from file")
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)/2] ^= 0xff
+	if err := os.WriteFile(path, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadProfilesFile(path, app.Name); !errors.Is(err, durable.ErrCorrupt) && !errors.Is(err, durable.ErrTruncated) {
+		t.Errorf("corrupted profile file: err = %v, want typed corruption", err)
+	}
+
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadProfilesFile(path, app.Name); !errors.Is(err, durable.ErrTruncated) {
+		t.Errorf("truncated profile file: err = %v, want ErrTruncated", err)
 	}
 }

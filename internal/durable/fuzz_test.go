@@ -1,0 +1,44 @@
+package durable
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzReadCheckpoint drives ReadEnvelope — the parser every checkpoint,
+// profile, and results load goes through — with arbitrary bytes: it must
+// never panic, and anything it accepts must re-encode to an envelope it
+// accepts again with the identical payload (so quarantine decisions are
+// stable across rewrites).
+func FuzzReadCheckpoint(f *testing.F) {
+	var valid bytes.Buffer
+	rec, _ := json.Marshal(cellRecord{Key: "grid/cell/0123", Data: json.RawMessage(`{"ipc":1.5}`)})
+	if err := WriteEnvelope(&valid, KindCheckpoint, rec); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:len(valid.Bytes())/2])
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"format":"tbpoint-durable-v1","kind":"k","size":0,"crc32c":"00000000","payload":{}}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[1,2,3]`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		kind, payload, err := ReadEnvelope(data)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteEnvelope(&buf, kind, payload); err != nil {
+			t.Fatalf("re-encoding an accepted envelope failed: %v", err)
+		}
+		kind2, payload2, err := ReadEnvelope(buf.Bytes())
+		if err != nil {
+			t.Fatalf("re-encoded envelope rejected: %v", err)
+		}
+		if kind2 != kind || !bytes.Equal(payload2, payload) {
+			t.Fatalf("round trip drifted: kind %q->%q payload %q->%q", kind, kind2, payload, payload2)
+		}
+	})
+}

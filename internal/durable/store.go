@@ -1,0 +1,193 @@
+package durable
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// KindCheckpoint is the envelope kind of checkpoint-store cell files.
+const KindCheckpoint = "checkpoint-cell"
+
+// ckptExt is the checkpoint file suffix; quarantined files gain ".corrupt".
+const (
+	ckptExt       = ".ckpt"
+	quarantineExt = ".corrupt"
+)
+
+// WriteFault is the crash-injection seam consulted before every journal
+// write; *faultcheck.Injector satisfies it.
+type WriteFault interface{ Fire() error }
+
+// cellRecord is a checkpoint file's payload: the cell key in the clear (so
+// hash collisions and misfiled entries are detectable) plus the journaled
+// result.
+type cellRecord struct {
+	Key  string          `json:"key"`
+	Data json.RawMessage `json:"data"`
+}
+
+// Store is a crash-safe checkpoint journal: one envelope file per recorded
+// cell, written atomically, keyed by an arbitrary string (the experiment
+// grids use grid/cell/config-hash keys). Open scans the directory once;
+// corrupted or truncated entries are quarantined — renamed aside, never
+// trusted — and simply count as missing.
+//
+// A nil *Store is the disabled journal: Get always misses and Put is a
+// no-op, so callers thread a store through unconditionally. Get and Put are
+// safe for concurrent use by grid workers.
+type Store struct {
+	dir string
+
+	// Fault, when non-nil, is fired before every journal write. The chaos
+	// suite and the TBPOINT_CRASH_AFTER_CHECKPOINTS env hook use it to die
+	// at the Nth checkpoint write; always nil in normal operation.
+	Fault WriteFault
+
+	mu          sync.Mutex
+	cells       map[string][]byte
+	writes      int64
+	hits        int64
+	quarantined int
+}
+
+// Open creates (if needed) and scans a checkpoint directory. Unreadable
+// entries are quarantined in place; Open fails only when the directory
+// itself cannot be created or listed.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, cells: map[string][]byte{}}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ckptExt) {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		payload, err := ReadEnvelopeFile(path, KindCheckpoint)
+		if err != nil {
+			s.quarantine(path)
+			continue
+		}
+		var rec cellRecord
+		if json.Unmarshal(payload, &rec) != nil || fileName(rec.Key) != name {
+			s.quarantine(path)
+			continue
+		}
+		s.cells[rec.Key] = rec.Data
+	}
+	return s, nil
+}
+
+// quarantine renames a damaged checkpoint aside so it is preserved for
+// inspection but never consulted again.
+func (s *Store) quarantine(path string) {
+	os.Rename(path, path+quarantineExt)
+	s.quarantined++
+}
+
+// fileName derives a checkpoint's file name from its key: keys carry
+// slashes and config hashes, so the name is a digest, with the key itself
+// recorded inside the envelope.
+func fileName(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return fmt.Sprintf("%x%s", sum[:16], ckptExt)
+}
+
+// Get returns the journaled data for key, if present.
+func (s *Store) Get(key string) ([]byte, bool) {
+	if s == nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.cells[key]
+	if ok {
+		s.hits++
+	}
+	return data, ok
+}
+
+// Put journals data (which must be valid JSON, as all grid cell results
+// are) under key: one atomic, enveloped file write. The
+// injected Fault (if any) fires first, so a die-at-Nth-write crash leaves
+// exactly N-1 durable cells. A failed write leaves neither a torn file nor
+// a stale in-memory entry.
+func (s *Store) Put(key string, data []byte) error {
+	if s == nil {
+		return nil
+	}
+	if s.Fault != nil {
+		if err := s.Fault.Fire(); err != nil {
+			return fmt.Errorf("durable: checkpoint %s: %w", fileName(key), err)
+		}
+	}
+	rec, err := json.Marshal(cellRecord{Key: key, Data: json.RawMessage(data)})
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(s.dir, fileName(key))
+	if err := WriteEnvelopeFile(path, KindCheckpoint, rec); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.cells[key] = append([]byte(nil), data...)
+	s.writes++
+	s.mu.Unlock()
+	return nil
+}
+
+// Dir returns the store's directory ("" for the disabled store).
+func (s *Store) Dir() string {
+	if s == nil {
+		return ""
+	}
+	return s.dir
+}
+
+// Len returns the number of loadable cells (journaled or loaded at Open).
+func (s *Store) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.cells)
+}
+
+// Writes returns the number of successful journal writes this session.
+func (s *Store) Writes() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.writes
+}
+
+// Hits returns the number of Get calls that found their key.
+func (s *Store) Hits() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits
+}
+
+// Quarantined returns how many damaged files Open renamed aside.
+func (s *Store) Quarantined() int {
+	if s == nil {
+		return 0
+	}
+	return s.quarantined
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"tbpoint/internal/metrics"
+)
+
+// cellKey names one grid cell in the checkpoint journal:
+// grid/cell/config-hash, where the hash folds in every Options field (and
+// any extra strings, e.g. the sensitivity hardware config) that determines
+// the cell's result. A resumed run with any differing input therefore
+// misses the journal and recomputes, so stale checkpoints can never leak
+// into fresh results.
+func (o Options) cellKey(grid, cell string, extra ...string) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "scale=%g seed=%d randfrac=%g unitdiv=%d min=%d max=%d",
+		o.Scale, o.Seed, o.RandomFrac, o.UnitDivisor, o.MinUnitInsts, o.MaxUnitInsts)
+	// The TBPoint options carry a context and a metrics collector; zero
+	// them so only result-determining fields reach the hash (pointer
+	// values would also make the key differ across processes).
+	tb := o.tbpointOptions()
+	tb.Ctx = nil
+	tb.Metrics = nil
+	fmt.Fprintf(h, " tb=%+v", tb)
+	for _, e := range extra {
+		io.WriteString(h, " ")
+		io.WriteString(h, e)
+	}
+	return fmt.Sprintf("%s/%s/%016x", grid, cell, h.Sum64())
+}
+
+// resumeCell restores a journaled cell result into out. It only hits when
+// the run asked to resume and the journal holds the exact key; a payload
+// that fails to decode counts as a miss (the cell is recomputed), never an
+// error.
+func (o Options) resumeCell(key string, out interface{}) bool {
+	if !o.Resume || o.Checkpoint == nil {
+		return false
+	}
+	data, ok := o.Checkpoint.Get(key)
+	if !ok {
+		return false
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return false
+	}
+	o.Metrics.AtomicAdd(metrics.ExpCellsResumed, 1)
+	return true
+}
+
+// journalCell records a completed cell's result. Journal failures are
+// grid-fatal by design: if the checkpoint directory is broken (disk full,
+// permissions, injected crash), silently continuing would burn hours of
+// simulation with none of the durability the caller asked for.
+func (o Options) journalCell(key string, v interface{}) error {
+	if o.Checkpoint == nil {
+		return nil
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("experiments: checkpoint %s: %w", key, err)
+	}
+	if err := o.Checkpoint.Put(key, data); err != nil {
+		return fmt.Errorf("experiments: checkpoint %s: %w", key, err)
+	}
+	o.Metrics.AtomicAdd(metrics.ExpCheckpointsSave, 1)
+	return nil
+}

@@ -6,6 +6,7 @@ import (
 	"runtime/debug"
 	"sort"
 	"sync"
+	"time"
 
 	"tbpoint/internal/faultcheck"
 	"tbpoint/internal/par"
@@ -25,6 +26,16 @@ type CellError struct {
 	// Stack is the panicking goroutine's stack when the failure was a panic
 	// (empty for ordinary errors).
 	Stack string `json:"stack,omitempty"`
+	// Attempts is how many times the cell was tried before giving up, so a
+	// transient fault (succeeds on retry, never lands here) is
+	// distinguishable from a deterministic one (fails every attempt).
+	Attempts int `json:"attempts,omitempty"`
+	// LastDelay is the final backoff slept between attempts, in
+	// nanoseconds (zero when the cell never retried).
+	LastDelay time.Duration `json:"lastDelayNs,omitempty"`
+	// TotalDuration is the cell's wall time across all attempts, in
+	// nanoseconds.
+	TotalDuration time.Duration `json:"totalDurationNs,omitempty"`
 }
 
 // cellFault is the chaos-test seam: when non-nil, every grid cell consults
@@ -76,8 +87,13 @@ type indexedCellError struct {
 	ce  CellError
 }
 
-func (cr *cellRecorder) record(idx int, cell string, err error) {
-	ce := CellError{Grid: cr.grid, Cell: cell, Err: err.Error()}
+func (cr *cellRecorder) record(idx int, cell string, err error, meta cellMeta) {
+	ce := CellError{
+		Grid: cr.grid, Cell: cell, Err: err.Error(),
+		Attempts:      meta.attempts,
+		LastDelay:     meta.lastDelay,
+		TotalDuration: meta.total,
+	}
 	var pe *par.PanicError
 	if errors.As(err, &pe) {
 		ce.Stack = string(pe.Stack)

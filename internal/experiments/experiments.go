@@ -15,8 +15,10 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"tbpoint/internal/core"
+	"tbpoint/internal/durable"
 	"tbpoint/internal/gpusim"
 	"tbpoint/internal/kernel"
 	"tbpoint/internal/metrics"
@@ -53,6 +55,21 @@ type Options struct {
 	// The CLIs wire their -timeout flag (and SIGINT) here. A nil or
 	// never-cancelled Ctx leaves every run bit-identical.
 	Ctx context.Context
+	// Checkpoint, when non-nil, journals every completed grid cell
+	// (atomic, checksummed; see internal/durable) so a crashed run can be
+	// resumed. Resume additionally consults the journal before running a
+	// cell: a hit restores the recorded result bit-for-bit instead of
+	// re-simulating. Cells are keyed by grid/cell/config hash, so resuming
+	// with any changed input recomputes rather than trusting stale state.
+	Checkpoint *durable.Store
+	Resume     bool
+	// Retry governs per-cell retries before a failure degrades to a
+	// CellError; the zero value means a single attempt (no retries).
+	Retry RetryPolicy
+	// CellDeadline, when positive, bounds each cell's wall time (all retry
+	// attempts together) via a per-cell context. A blown deadline is a
+	// cell fault — recorded, the grid continues — not a grid cancellation.
+	CellDeadline time.Duration
 	// Verbose emits progress lines to Out as benchmarks complete.
 	Verbose bool
 	// Out receives report text (required by the Print* helpers).

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"bytes"
 	"encoding/json"
 	"io"
 
+	"tbpoint/internal/durable"
 	"tbpoint/internal/metrics"
 )
 
@@ -49,4 +51,30 @@ func ReadResults(r io.Reader) (*Results, error) {
 		return nil, err
 	}
 	return &out, nil
+}
+
+// resultsKind is the durable-envelope kind of results files.
+const resultsKind = "results"
+
+// WriteResultsFile writes the bundle to path atomically, wrapped in the
+// durable envelope (versioned, CRC-checksummed; `jq .payload` recovers the
+// plain bundle). A crash mid-write leaves the previous file intact, and a
+// file damaged later is detected as such on load instead of being half
+// parsed.
+func WriteResultsFile(path string, r *Results) error {
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		return err
+	}
+	return durable.WriteEnvelopeFile(path, resultsKind, buf.Bytes())
+}
+
+// ReadResultsFile loads a bundle written by WriteResultsFile, verifying
+// the envelope: damage surfaces as durable.ErrCorrupt/ErrTruncated.
+func ReadResultsFile(path string) (*Results, error) {
+	payload, err := durable.ReadEnvelopeFile(path, resultsKind)
+	if err != nil {
+		return nil, err
+	}
+	return ReadResults(bytes.NewReader(payload))
 }

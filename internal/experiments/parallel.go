@@ -6,6 +6,7 @@ import (
 
 	"tbpoint/internal/core"
 	"tbpoint/internal/gpusim"
+	"tbpoint/internal/metrics"
 	"tbpoint/internal/par"
 	"tbpoint/internal/workloads"
 )
@@ -27,15 +28,27 @@ func forEachIndexed(ctx context.Context, n int, fn func(i int) error) error {
 	return par.ForEachCtx(ctx, n, fn)
 }
 
+// gridCancelled decides whether a cell's error is the grid being torn down
+// (propagate) or a fault local to the cell (degrade to CellError). A cell
+// can die of its own CellDeadline — a context error — while the grid
+// context is perfectly alive, so the grid's own state is what decides.
+func gridCancelled(opts Options, cellErr error) bool {
+	return isCancellation(cellErr) && ctxErr(opts.Ctx) != nil
+}
+
 // RunAccuracyParallel is RunAccuracy with the per-benchmark work fanned out
 // over a worker pool, and with per-cell failure isolation: a benchmark that
 // errors or panics becomes a CellError while the others complete, so one
-// rotten cell no longer takes down the grid. Results are returned compacted
-// in benchmark (table) order and — on a fault-free run — are identical to
-// the sequential run: every stochastic component is seeded per benchmark,
-// never shared. The returned error is non-nil only for setup failures or
-// cancellation (opts.Ctx); even then, results completed before the cut-off
-// and the cell errors recorded so far are returned alongside it.
+// rotten cell no longer takes down the grid. Failed cells are retried under
+// opts.Retry before they degrade, and completed cells are journaled to
+// opts.Checkpoint (and skipped on opts.Resume) so a crashed grid never
+// redoes finished work. Results are returned compacted in benchmark (table)
+// order and — on a fault-free run — are identical to the sequential run:
+// every stochastic component is seeded per benchmark, never shared. The
+// returned error is non-nil only for setup failures, checkpoint-write
+// failures, or cancellation (opts.Ctx); even then, results completed before
+// the cut-off and the cell errors recorded so far are returned alongside
+// it.
 func RunAccuracyParallel(opts Options) ([]*BenchResult, []CellError, error) {
 	specs, err := opts.specs()
 	if err != nil {
@@ -44,8 +57,17 @@ func RunAccuracyParallel(opts Options) ([]*BenchResult, []CellError, error) {
 	out := make([]*BenchResult, len(specs))
 	rec := &cellRecorder{grid: "accuracy"}
 	err = forEachIndexed(opts.Ctx, len(specs), func(i int) error {
-		cellErr := runCell(func() error {
-			r, err := RunBenchmark(specs[i], gpusim.DefaultConfig(), opts)
+		key := opts.cellKey("accuracy", specs[i].Name)
+		var cached BenchResult
+		if opts.resumeCell(key, &cached) {
+			out[i] = &cached
+			opts.progress("# %-8s resumed from checkpoint", cached.Name)
+			return nil
+		}
+		meta, cellErr := opts.runCellWithRetry(i, func(ctx context.Context) error {
+			cellOpts := opts
+			cellOpts.Ctx = ctx
+			r, err := RunBenchmark(specs[i], gpusim.DefaultConfig(), cellOpts)
 			if err != nil {
 				return err
 			}
@@ -55,12 +77,14 @@ func RunAccuracyParallel(opts Options) ([]*BenchResult, []CellError, error) {
 			return nil
 		})
 		if cellErr == nil {
-			return nil
+			opts.Metrics.AtomicAdd(metrics.ExpCellsExecuted, 1)
+			return opts.journalCell(key, out[i])
 		}
-		if isCancellation(cellErr) {
+		if gridCancelled(opts, cellErr) {
 			return cellErr
 		}
-		rec.record(i, specs[i].Name, cellErr)
+		opts.Metrics.AtomicAdd(metrics.ExpCellsFailed, 1)
+		rec.record(i, specs[i].Name, cellErr, meta)
 		return nil
 	})
 	var results []*BenchResult
@@ -73,10 +97,11 @@ func RunAccuracyParallel(opts Options) ([]*BenchResult, []CellError, error) {
 }
 
 // RunSensitivityParallel fans the (benchmark x configuration) grid out over
-// a worker pool with the same per-cell failure isolation as
-// RunAccuracyParallel; each cell is independent. Results follow the same
-// ordering as RunSensitivity (benchmarks in table order, configurations in
-// sweep order), with failed cells compacted out and reported as CellErrors.
+// a worker pool with the same per-cell failure isolation, retry policy, and
+// checkpoint/resume behaviour as RunAccuracyParallel; each cell is
+// independent. Results follow the same ordering as RunSensitivity
+// (benchmarks in table order, configurations in sweep order), with failed
+// cells compacted out and reported as CellErrors.
 func RunSensitivityParallel(opts Options) ([]SensResult, []CellError, error) {
 	specs, err := opts.specs()
 	if err != nil {
@@ -93,6 +118,28 @@ func RunSensitivityParallel(opts Options) ([]SensResult, []CellError, error) {
 			cells = append(cells, cell{s, hc})
 		}
 	}
+	out := make([]SensResult, len(cells))
+	done := make([]bool, len(cells))
+	// Resolve checkpoints first: a fully resumed benchmark never needs its
+	// profile rebuilt, so a resume of a finished grid does no simulation
+	// work at all.
+	keys := make([]string, len(cells))
+	resumed := make([]bool, len(cells))
+	needProfile := map[string]bool{}
+	for i, c := range cells {
+		keys[i] = opts.cellKey("sensitivity",
+			fmt.Sprintf("%s/%s", c.spec.Name, c.hc.Name()),
+			fmt.Sprintf("hw=%+v", c.hc))
+		var cached SensResult
+		if opts.resumeCell(keys[i], &cached) {
+			out[i] = cached
+			done[i] = true
+			resumed[i] = true
+			opts.progress("# %-8s %-7s resumed from checkpoint", cached.Bench, c.hc.Name())
+			continue
+		}
+		needProfile[c.spec.Name] = true
+	}
 	// Profiles are shared per benchmark; precompute them once (cheap,
 	// analytic) so workers only simulate.
 	type prep struct {
@@ -101,6 +148,9 @@ func RunSensitivityParallel(opts Options) ([]SensResult, []CellError, error) {
 	}
 	preps := map[string]*prep{}
 	for _, s := range specs {
+		if !needProfile[s.Name] {
+			continue
+		}
 		app := s.Build(workloads.Config{Scale: opts.Scale, Seed: opts.Seed})
 		prof := core.ProfileApp(app)
 		preps[s.Name] = &prep{
@@ -108,27 +158,28 @@ func RunSensitivityParallel(opts Options) ([]SensResult, []CellError, error) {
 			inter: core.InterLaunch(prof.Profiles, opts.tbpointOptions().SigmaInter),
 		}
 	}
-	out := make([]SensResult, len(cells))
-	done := make([]bool, len(cells))
 	rec := &cellRecorder{grid: "sensitivity"}
 	err = forEachIndexed(opts.Ctx, len(cells), func(i int) error {
+		if resumed[i] {
+			return nil
+		}
 		c := cells[i]
-		cellErr := runCell(func() error {
+		meta, cellErr := opts.runCellWithRetry(i, func(ctx context.Context) error {
 			p := preps[c.spec.Name]
 			cfg := gpusim.DefaultConfig().WithOccupancy(c.hc.Warps, c.hc.SMs)
 			sim, err := gpusim.New(cfg)
 			if err != nil {
 				return err
 			}
-			full := fullAppCtx(opts.Ctx, sim, p.prof.App, opts.unitSize(p.prof.App.TotalWarpInsts()), nil)
+			full := fullAppCtx(ctx, sim, p.prof.App, opts.unitSize(p.prof.App.TotalWarpInsts()), nil)
 			if full.Aborted {
-				if err := ctxErr(opts.Ctx); err != nil {
+				if err := ctxErr(ctx); err != nil {
 					return err
 				}
 				return context.Canceled
 			}
 			tbopts := opts.tbpointOptions()
-			tbopts.Ctx = opts.Ctx
+			tbopts.Ctx = ctx
 			res, err := core.Retarget(sim, p.prof, p.inter, tbopts)
 			if err != nil {
 				return err
@@ -146,12 +197,14 @@ func RunSensitivityParallel(opts Options) ([]SensResult, []CellError, error) {
 			return nil
 		})
 		if cellErr == nil {
-			return nil
+			opts.Metrics.AtomicAdd(metrics.ExpCellsExecuted, 1)
+			return opts.journalCell(keys[i], out[i])
 		}
-		if isCancellation(cellErr) {
+		if gridCancelled(opts, cellErr) {
 			return cellErr
 		}
-		rec.record(i, fmt.Sprintf("%s/%s", c.spec.Name, c.hc.Name()), cellErr)
+		opts.Metrics.AtomicAdd(metrics.ExpCellsFailed, 1)
+		rec.record(i, fmt.Sprintf("%s/%s", c.spec.Name, c.hc.Name()), cellErr, meta)
 		return nil
 	})
 	var results []SensResult

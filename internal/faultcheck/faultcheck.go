@@ -36,6 +36,11 @@ const (
 	// Slow makes Fire sleep for the configured delay, then succeed. It
 	// models a stalled-but-alive dependency (a hung disk, a slow cell).
 	Slow
+	// Crash makes Fire invoke the configured crash function (default: a
+	// faultcheck-tagged panic; WithCrashFn can substitute os.Exit to kill
+	// the process for real). It models die-at-Nth-write process death for
+	// the crash-recovery chaos suite.
+	Crash
 )
 
 func (m Mode) String() string {
@@ -46,6 +51,8 @@ func (m Mode) String() string {
 		return "panic"
 	case Slow:
 		return "slow"
+	case Crash:
+		return "crash"
 	}
 	return fmt.Sprintf("Mode(%d)", int(m))
 }
@@ -59,12 +66,16 @@ var ErrInjected = errors.New("faultcheck: injected fault")
 // disabled injector: Fire is a no-op returning nil, so production seams
 // can consult an injector variable unconditionally.
 type Injector struct {
-	mode  Mode
-	nth   int64
-	delay time.Duration
-	calls atomic.Int64
-	fired atomic.Int64
+	mode    Mode
+	nth     int64 // everyCall means every Fire faults (see Always)
+	delay   time.Duration
+	crashFn func()
+	calls   atomic.Int64
+	fired   atomic.Int64
 }
+
+// everyCall is the nth sentinel for Always-mode injectors.
+const everyCall = -1
 
 // OnNth returns an injector that faults on the nth Fire call (1-based;
 // n < 1 is clamped to 1).
@@ -95,10 +106,25 @@ func splitmix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
+// Always returns an injector that faults on every Fire call — a
+// deterministically *persistent* failure, for testing retry exhaustion
+// (where OnNth's fire-exactly-once models a transient one).
+func Always(mode Mode) *Injector {
+	return &Injector{mode: mode, nth: everyCall, delay: time.Millisecond}
+}
+
 // WithDelay sets the Slow-mode sleep (default 1ms) and returns the
 // injector for chaining.
 func (in *Injector) WithDelay(d time.Duration) *Injector {
 	in.delay = d
+	return in
+}
+
+// WithCrashFn sets what a Crash-mode injector does on the faulting call
+// (default: panic). Production crash hooks pass os.Exit so the process
+// dies for real; tests keep the panic and recover it.
+func (in *Injector) WithCrashFn(fn func()) *Injector {
+	in.crashFn = fn
 	return in
 }
 
@@ -114,7 +140,7 @@ func (in *Injector) Fire() error {
 		return nil
 	}
 	call := in.calls.Add(1)
-	if call != in.nth {
+	if in.nth != everyCall && call != in.nth {
 		return nil
 	}
 	in.fired.Add(1)
@@ -124,6 +150,12 @@ func (in *Injector) Fire() error {
 	case Slow:
 		time.Sleep(in.delay)
 		return nil
+	case Crash:
+		if in.crashFn != nil {
+			in.crashFn()
+			return nil
+		}
+		panic(fmt.Sprintf("faultcheck: injected crash at call %d", call))
 	default:
 		return fmt.Errorf("%w (call %d)", ErrInjected, call)
 	}
@@ -165,4 +197,33 @@ func (f *faultyReader) Read(p []byte) (int, error) {
 		return 0, err
 	}
 	return f.r.Read(p)
+}
+
+// faultyWriter consults an injector before every Write; the faulting write
+// is short — only half the buffer reaches the underlying writer before the
+// error — modelling the torn write a crashing process leaves behind.
+type faultyWriter struct {
+	w  io.Writer
+	in *Injector
+}
+
+// Writer wraps w so that the injector's faulting call becomes a
+// truncating/short write: half of p is written through, then the fault is
+// returned. Used to chaos-test the durable write path against mid-write
+// failure.
+func Writer(w io.Writer, in *Injector) io.Writer {
+	return &faultyWriter{w: w, in: in}
+}
+
+func (f *faultyWriter) Write(p []byte) (int, error) {
+	if err := f.in.Fire(); err != nil {
+		n := len(p) / 2
+		if n > 0 {
+			if wn, werr := f.w.Write(p[:n]); werr != nil {
+				return wn, werr
+			}
+		}
+		return n, err
+	}
+	return f.w.Write(p)
 }

@@ -145,9 +145,87 @@ func TestReaderCleanWhenInjectorNil(t *testing.T) {
 }
 
 func TestModeString(t *testing.T) {
-	for m, want := range map[Mode]string{Error: "error", Panic: "panic", Slow: "slow", Mode(9): "Mode(9)"} {
+	for m, want := range map[Mode]string{Error: "error", Panic: "panic", Slow: "slow", Crash: "crash", Mode(9): "Mode(9)"} {
 		if got := m.String(); got != want {
 			t.Fatalf("Mode(%d).String() = %q, want %q", int(m), got, want)
 		}
+	}
+}
+
+func TestCrashModeDefaultPanics(t *testing.T) {
+	in := OnNth(1, Crash)
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("Crash mode without a crash fn did not panic")
+		} else if s, ok := r.(string); !ok || !strings.Contains(s, "injected crash") {
+			t.Fatalf("panic value %v not crash-tagged", r)
+		}
+	}()
+	_ = in.Fire()
+}
+
+func TestCrashModeRunsCrashFn(t *testing.T) {
+	died := false
+	in := OnNth(2, Crash).WithCrashFn(func() { died = true })
+	if err := in.Fire(); err != nil || died {
+		t.Fatalf("first call: err %v died %v", err, died)
+	}
+	if err := in.Fire(); err != nil {
+		t.Fatalf("crash fn call returned error: %v", err)
+	}
+	if !died {
+		t.Fatal("crash fn not invoked on the faulting call")
+	}
+	if !in.Fired() {
+		t.Fatal("Fired() = false after crash")
+	}
+	// Past the faulting call, the injector goes quiet again.
+	died = false
+	if err := in.Fire(); err != nil || died {
+		t.Fatalf("post-crash call: err %v died %v", err, died)
+	}
+}
+
+func TestAlwaysFiresEveryCall(t *testing.T) {
+	in := Always(Error)
+	for i := 0; i < 5; i++ {
+		if err := in.Fire(); !errors.Is(err, ErrInjected) {
+			t.Fatalf("call %d: err = %v, want persistent ErrInjected", i, err)
+		}
+	}
+	if in.Calls() != 5 || !in.Fired() {
+		t.Fatalf("Calls() = %d Fired() = %v after 5 persistent faults", in.Calls(), in.Fired())
+	}
+}
+
+// TestWriterShortWrite pins the torn-write model: the faulting Write pushes
+// exactly half the buffer through before failing, and the writer recovers
+// for subsequent calls.
+func TestWriterShortWrite(t *testing.T) {
+	var sink strings.Builder
+	w := Writer(&sink, OnNth(2, Error))
+	if _, err := w.Write([]byte("aaaa")); err != nil {
+		t.Fatalf("first write failed early: %v", err)
+	}
+	n, err := w.Write([]byte("bbbb"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("faulting write err = %v, want ErrInjected", err)
+	}
+	if n != 2 {
+		t.Fatalf("faulting write reported n = %d, want the short half 2", n)
+	}
+	if _, err := w.Write([]byte("cccc")); err != nil {
+		t.Fatalf("post-fault write failed: %v", err)
+	}
+	if got := sink.String(); got != "aaaabbcccc" {
+		t.Fatalf("sink holds %q, want %q (torn middle write)", got, "aaaabbcccc")
+	}
+}
+
+func TestWriterCleanWhenInjectorNil(t *testing.T) {
+	var sink strings.Builder
+	w := Writer(&sink, nil)
+	if _, err := w.Write([]byte("hello")); err != nil || sink.String() != "hello" {
+		t.Fatalf("clean writer: %q, %v", sink.String(), err)
 	}
 }

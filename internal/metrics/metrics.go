@@ -101,6 +101,16 @@ const (
 	ParExtraWorkers
 	ParAcquireDenied
 
+	// Experiment-grid durability (internal/experiments): how each grid
+	// cell was satisfied. Executed + resumed + failed accounts for every
+	// cell of a completed grid, which is how the crash-recovery suite
+	// proves a resumed run re-executed nothing.
+	ExpCellsExecuted   // cells actually simulated to completion
+	ExpCellsResumed    // cells restored from the checkpoint journal
+	ExpCellsFailed     // cells that exhausted retries into a CellError
+	ExpCellRetries     // retry attempts beyond each cell's first
+	ExpCheckpointsSave // successful checkpoint journal writes
+
 	NumCounters
 )
 
@@ -146,6 +156,12 @@ var counterNames = [NumCounters]string{
 	ParTasks:         "par.tasks",
 	ParExtraWorkers:  "par.extra_workers",
 	ParAcquireDenied: "par.acquire_denied",
+
+	ExpCellsExecuted:   "exp.cells_executed",
+	ExpCellsResumed:    "exp.cells_resumed",
+	ExpCellsFailed:     "exp.cells_failed",
+	ExpCellRetries:     "exp.cell_retries",
+	ExpCheckpointsSave: "exp.checkpoint_writes",
 }
 
 // Name returns the counter's report name ("group.name").

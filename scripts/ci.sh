@@ -9,8 +9,11 @@
 #           concurrently (the shared worker budget fans launches and
 #           benchmark cells out over goroutines; see DESIGN.md)
 #   chaos   the cancellation/fault-injection suite (internal/faultcheck
-#           driven): mid-run cancellation, per-cell panic isolation, and
-#           corrupted-input handling across par, gpusim, core, experiments
+#           driven): mid-run cancellation, per-cell panic isolation,
+#           retry/resume/corruption handling across par, gpusim, core,
+#           durable, experiments — plus a kill-and-resume case that
+#           crashes a real experiments process at a checkpoint write and
+#           proves the resumed results.json is byte-identical
 #   fuzz    10s fuzz smoke over each existing fuzz target
 #   golden  cmd/goldencheck re-runs the five determinism benchmarks and
 #           diffs the full metrics counter set against testdata goldens
@@ -58,14 +61,77 @@ run_fuzz() {
   go test -run='^$' -fuzz='^FuzzRead$' -fuzztime=10s ./internal/trace/
   go test -run='^$' -fuzz='^FuzzReadRegionTable$' -fuzztime=10s ./internal/core/
   go test -run='^$' -fuzz='^FuzzReadProfiles$' -fuzztime=10s ./internal/core/
+  go test -run='^$' -fuzz='^FuzzReadCheckpoint$' -fuzztime=10s ./internal/durable/
 }
 
 run_chaos() {
   # -count=1 defeats the test cache: chaos tests exercise timing-dependent
   # cancellation paths and should actually run on every CI invocation.
-  go test -count=1 -run 'Chaos|Cancel|Abort|Panic' \
+  go test -count=1 -run 'Chaos|Cancel|Abort|Panic|Retry|Resume|Corrupt|Quarantine|Truncat|Crash' \
     ./internal/faultcheck/ ./internal/par/ ./internal/gpusim/ \
-    ./internal/core/ ./internal/experiments/
+    ./internal/core/ ./internal/experiments/ ./internal/durable/
+  run_crash_recovery
+}
+
+run_crash_recovery() {
+  # Kill-and-resume, with a real process death: the env hook makes the
+  # experiments binary os.Exit(3) at its 2nd checkpoint write, so exactly
+  # one cell is durable. A resume must then simulate only the two lost
+  # cells (proved via the metrics counters), and a second, fully resumed
+  # run must reproduce the uninterrupted run's results.json byte for byte.
+  # Subshell so the cleanup trap cannot outlive the function (a RETURN
+  # trap would re-fire on every later return under set -u).
+  (
+  local tmp bin
+  tmp=$(mktemp -d)
+  trap 'rm -rf "$tmp"' EXIT
+  bin="$tmp/experiments"
+  go build -o "$bin" ./cmd/experiments
+  local args=(-par 1 -scale 0.02 -seed 7 -bench stream,black,hotspot)
+
+  "$bin" "${args[@]}" -json "$tmp/golden.json" accuracy >/dev/null
+
+  if TBPOINT_CRASH_AFTER_CHECKPOINTS=2 "$bin" "${args[@]}" \
+      -checkpoint-dir "$tmp/ckpt" -json "$tmp/crashed.json" accuracy \
+      >/dev/null 2>"$tmp/crash.log"; then
+    echo "crash-recovery: the injected crash did not kill the run" >&2
+    return 1
+  fi
+  grep -q "injected crash" "$tmp/crash.log" || {
+    echo "crash-recovery: run died but not from the injected crash:" >&2
+    cat "$tmp/crash.log" >&2
+    return 1
+  }
+  if [[ -e "$tmp/crashed.json" ]]; then
+    echo "crash-recovery: the dead run left a results.json behind" >&2
+    return 1
+  fi
+
+  "$bin" "${args[@]}" -checkpoint-dir "$tmp/ckpt" -resume \
+    -metrics-json "$tmp/metrics.json" accuracy >/dev/null
+  grep -q '"exp.cells_resumed": 1' "$tmp/metrics.json" || {
+    echo "crash-recovery: resumed run did not report exactly 1 resumed cell" >&2
+    grep '"exp\.' "$tmp/metrics.json" >&2 || true
+    return 1
+  }
+  grep -q '"exp.cells_executed": 2' "$tmp/metrics.json" || {
+    echo "crash-recovery: resumed run re-executed a journaled cell" >&2
+    grep '"exp\.' "$tmp/metrics.json" >&2 || true
+    return 1
+  }
+
+  "$bin" "${args[@]}" -checkpoint-dir "$tmp/ckpt" -resume \
+    -json "$tmp/resumed.json" accuracy >/dev/null 2>"$tmp/resume.log"
+  grep -q "resumed 3 cell(s) from checkpoint, journaled 0 new" "$tmp/resume.log" || {
+    echo "crash-recovery: fully resumed run still simulated cells:" >&2
+    cat "$tmp/resume.log" >&2
+    return 1
+  }
+  cmp "$tmp/golden.json" "$tmp/resumed.json" || {
+    echo "crash-recovery: resumed results.json differs from the uninterrupted run" >&2
+    return 1
+  }
+  )
 }
 
 run_bench() {
@@ -80,7 +146,7 @@ stage fmt check_fmt
 stage vet go vet ./...
 stage build go build ./...
 stage test go test ./...
-stage race go test -race ./internal/gpusim/ ./internal/experiments/ ./internal/core/ ./internal/par/
+stage race go test -race ./internal/gpusim/ ./internal/experiments/ ./internal/core/ ./internal/par/ ./internal/durable/
 stage chaos run_chaos
 if [[ "$FAST" == "0" && "${SKIP_FUZZ:-0}" != "1" ]]; then
   stage fuzz run_fuzz

@@ -271,6 +271,27 @@ func LoadProfile(r io.Reader, app *App) (*AppProfile, error) {
 	if err != nil {
 		return nil, err
 	}
+	return checkProfile(profiles, app)
+}
+
+// SaveProfileFile persists a profile to path atomically, wrapped in the
+// checksummed durable envelope (see internal/durable): a crash mid-save
+// never tears the file, and later corruption is detected on load.
+func SaveProfileFile(path string, prof *AppProfile) error {
+	return core.WriteProfilesFile(path, prof.App.Name, prof.Profiles)
+}
+
+// LoadProfileFile restores a profile saved by SaveProfileFile, verifying
+// the envelope's length and checksum before trusting any counter.
+func LoadProfileFile(path string, app *App) (*AppProfile, error) {
+	profiles, err := core.ReadProfilesFile(path, app.Name)
+	if err != nil {
+		return nil, err
+	}
+	return checkProfile(profiles, app)
+}
+
+func checkProfile(profiles []*funcsim.LaunchProfile, app *App) (*AppProfile, error) {
 	if len(profiles) != len(app.Launches) {
 		return nil, fmt.Errorf("tbpoint: profile has %d launches, app has %d",
 			len(profiles), len(app.Launches))
