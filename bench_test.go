@@ -34,6 +34,19 @@ func benchOpts() experiments.Options {
 	return o
 }
 
+// reportThroughput stops the timer and attaches the canonical warpinsts/s
+// metric to b; parallel-mode cases (workers > 0) also report their worker
+// count so `go test -bench` output identifies the scaling configuration.
+func reportThroughput(b *testing.B, insts int64, workers int) {
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(insts)/secs, "warpinsts/s")
+	}
+	if workers > 0 {
+		b.ReportMetric(float64(workers), "workers")
+	}
+}
+
 // BenchmarkTable1SimulatorThroughput measures the simulator's speed — the
 // quantity Table I projects into simulation times.
 func BenchmarkTable1SimulatorThroughput(b *testing.B) {
@@ -46,10 +59,7 @@ func BenchmarkTable1SimulatorThroughput(b *testing.B) {
 		res := sim.RunLaunch(l, tbpoint.RunOptions{})
 		insts += res.SimulatedWarpInsts
 	}
-	b.StopTimer()
-	if secs := b.Elapsed().Seconds(); secs > 0 {
-		b.ReportMetric(float64(insts)/secs, "warpinsts/s")
-	}
+	reportThroughput(b, insts, 0)
 }
 
 // BenchmarkTable6WorkloadConstruction measures building the full Table VI
@@ -201,10 +211,23 @@ func BenchmarkRunLaunchEventLoop(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		insts += sim.RunLaunch(l, tbpoint.RunOptions{}).SimulatedWarpInsts
 	}
-	b.StopTimer()
-	if secs := b.Elapsed().Seconds(); secs > 0 {
-		b.ReportMetric(float64(insts)/secs, "warpinsts/s")
+	reportThroughput(b, insts, 0)
+}
+
+// BenchmarkRunLaunchEventLoopParallel runs the same scheduler-bound workload
+// under the epoch-synchronized parallel mode (-parallel-sm) with 8 workers
+// at the default quantum — the BENCH_gpusim.json `eventloop-black-par8`
+// scaling case.
+func BenchmarkRunLaunchEventLoopParallel(b *testing.B) {
+	app := tbpoint.MustBenchmark("black", 0.05)
+	sim := tbpoint.MustNewSimulator(tbpoint.DefaultSimConfig())
+	l := app.Launches[0]
+	var insts int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		insts += sim.RunLaunch(l, tbpoint.RunOptions{Workers: 8}).SimulatedWarpInsts
 	}
+	reportThroughput(b, insts, 8)
 }
 
 // BenchmarkRunLaunchEventLoopMetrics is BenchmarkRunLaunchEventLoop with a
@@ -222,10 +245,7 @@ func BenchmarkRunLaunchEventLoopMetrics(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		insts += sim.RunLaunch(l, tbpoint.RunOptions{Metrics: mc}).SimulatedWarpInsts
 	}
-	b.StopTimer()
-	if secs := b.Elapsed().Seconds(); secs > 0 {
-		b.ReportMetric(float64(insts)/secs, "warpinsts/s")
-	}
+	reportThroughput(b, insts, 0)
 }
 
 // BenchmarkMemSystem stresses the memory hierarchy: stream misses both
@@ -240,10 +260,7 @@ func BenchmarkMemSystem(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		insts += sim.RunLaunch(l, tbpoint.RunOptions{}).SimulatedWarpInsts
 	}
-	b.StopTimer()
-	if secs := b.Elapsed().Seconds(); secs > 0 {
-		b.ReportMetric(float64(insts)/secs, "warpinsts/s")
-	}
+	reportThroughput(b, insts, 0)
 }
 
 // BenchmarkFullAppParallel measures the whole-app launch fan-out: the same
@@ -270,10 +287,7 @@ func BenchmarkFullAppParallel(b *testing.B) {
 					insts += r.SimulatedWarpInsts
 				}
 			}
-			b.StopTimer()
-			if secs := b.Elapsed().Seconds(); secs > 0 {
-				b.ReportMetric(float64(insts)/secs, "warpinsts/s")
-			}
+			reportThroughput(b, insts, 0)
 		})
 	}
 }
@@ -287,10 +301,7 @@ func BenchmarkSimulatorMemoryBound(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		insts += sim.RunLaunch(l, tbpoint.RunOptions{}).SimulatedWarpInsts
 	}
-	b.StopTimer()
-	if secs := b.Elapsed().Seconds(); secs > 0 {
-		b.ReportMetric(float64(insts)/secs, "warpinsts/s")
-	}
+	reportThroughput(b, insts, 0)
 }
 
 func BenchmarkTraceExpansion(b *testing.B) {

@@ -1,7 +1,9 @@
 // Command benchgate is the CI throughput-regression gate: it re-measures
 // the simulator on the standard BENCH_gpusim.json cases and compares the
 // fresh warpinsts/s against the checked-in numbers. A case that drops more
-// than the threshold (default 20%) is flagged.
+// than its threshold is flagged; the report's gate_thresholds section sets
+// per-case bounds (the parallel case is noisier than the serial ones) and
+// -threshold is the fallback for cases without one (default 20%).
 //
 // Throughput on shared CI runners is noisy, so the gate is advisory by
 // default: regressions are reported but the exit status stays 0. Run with
@@ -62,17 +64,23 @@ func main() {
 			fmt.Printf("benchgate: %-24s %12.0f warpinsts/s (no recorded baseline)\n", r.Case, r.WarpInstsPS)
 			continue
 		}
+		// Per-case thresholds recorded in the report (e.g. a looser bound
+		// for the parallel-scaling case) override the flag.
+		tol := *threshold
+		if t, ok := rep.GateThresholds[r.Case]; ok && t > 0 {
+			tol = t
+		}
 		ratio := r.WarpInstsPS / base
 		status := "ok"
-		if ratio < 1-*threshold {
+		if ratio < 1-tol {
 			status = "REGRESSION"
 			regressions++
 		}
-		fmt.Printf("benchgate: %-24s %12.0f warpinsts/s  recorded %12.0f  ratio %.2f  %s\n",
-			r.Case, r.WarpInstsPS, base, ratio, status)
+		fmt.Printf("benchgate: %-24s %12.0f warpinsts/s  recorded %12.0f  ratio %.2f (tol %.0f%%)  %s\n",
+			r.Case, r.WarpInstsPS, base, ratio, tol*100, status)
 	}
 	if regressions > 0 {
-		msg := fmt.Sprintf("%d case(s) dropped more than %.0f%% below %s", regressions, *threshold*100, *file)
+		msg := fmt.Sprintf("%d case(s) dropped below their tolerated ratio vs %s", regressions, *file)
 		if *hard {
 			fail("%s", msg)
 		}

@@ -5,8 +5,11 @@
 //	experiments [-scale f] [-seed n] [-bench a,b,c] [-v] <target>...
 //
 // Targets: table1 table6 fig5 fig8 fig9 fig10 fig11 fig12 fig13 accuracy
-// sensitivity all. "accuracy" prints fig9+fig10+fig11 from one run;
-// "sensitivity" prints fig12+fig13 from one run; "all" runs everything.
+// sensitivity agreement all. "accuracy" prints fig9+fig10+fig11 from one
+// run; "sensitivity" prints fig12+fig13 from one run; "all" runs everything
+// except "agreement", which audits the -parallel-sm event loop against the
+// serial reference (per-benchmark max cycle divergence, exact instruction
+// match) and fails the run past -max-divergence.
 //
 // Long grids are restartable: -checkpoint-dir journals each completed grid
 // cell atomically and -resume replays the journal instead of re-simulating,
@@ -32,6 +35,7 @@ import (
 	"tbpoint/internal/durable"
 	"tbpoint/internal/experiments"
 	"tbpoint/internal/faultcheck"
+	"tbpoint/internal/gpusim"
 	"tbpoint/internal/metrics"
 	"tbpoint/internal/par"
 )
@@ -53,6 +57,9 @@ func main() {
 	resume := flag.Bool("resume", false, "skip grid cells already journaled in -checkpoint-dir instead of re-running them")
 	retries := flag.Int("retries", 1, "attempts per grid cell before its failure is recorded (exponential backoff with seeded jitter)")
 	cellDeadline := flag.Duration("cell-deadline", 0, "wall-time budget per grid cell, all attempts together (0 = no limit)")
+	parallelSM := flag.String("parallel-sm", "off", "simulator event loop: off = serial (bit-identical reference), N>1 = epoch-parallel with N workers")
+	quantum := flag.Int64("quantum", 0, "epoch length in cycles for -parallel-sm (0 = gpusim default)")
+	maxDivergence := flag.Float64("max-divergence", 0.05, "agreement target: fail when a benchmark's serial-vs-parallel cycle divergence exceeds this fraction")
 	flag.Parse()
 	experiments.Parallelism = *parN
 
@@ -116,7 +123,7 @@ func main() {
 
 	targets := flag.Args()
 	if len(targets) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <table1|table6|fig5|fig8|fig9|fig10|fig11|fig12|fig13|motivation|ablations|accuracy|sensitivity|all>...")
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <table1|table6|fig5|fig8|fig9|fig10|fig11|fig12|fig13|motivation|ablations|accuracy|sensitivity|agreement|all>...")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -129,6 +136,12 @@ func main() {
 	if *bench != "" {
 		opts.Benchmarks = strings.Split(*bench, ",")
 	}
+	simWorkers, err := parseParallelSM(*parallelSM)
+	if err != nil {
+		fail(err)
+	}
+	opts.SimWorkers = simWorkers
+	opts.SimQuantum = *quantum
 	var mc *metrics.Collector
 	if *metricsJSON != "" {
 		mc = metrics.New()
@@ -194,6 +207,13 @@ func main() {
 
 	w := os.Stdout
 	bundle := &experiments.Results{Scale: opts.Scale, Seed: opts.Seed}
+	if opts.SimWorkers > 1 {
+		bundle.ParallelSM = opts.SimWorkers
+		bundle.ParallelQuantum = opts.SimQuantum
+		if bundle.ParallelQuantum < 1 {
+			bundle.ParallelQuantum = gpusim.DefaultQuantum
+		}
+	}
 
 	// dead reports (and records) whether the run has been cut short;
 	// remaining targets are skipped but the output files are still written.
@@ -285,6 +305,28 @@ func main() {
 			bundle.Accuracy = results
 		}
 	}
+	if want["agreement"] && !dead() {
+		sw := mc.StartPhase("target.agreement")
+		results, err := experiments.RunParallelAgreement(opts)
+		sw.Stop()
+		if handle(err) {
+			experiments.PrintAgreement(w, results)
+			bundle.ParallelAgreement = results
+			if len(results) > 0 {
+				bundle.ParallelSM = results[0].Workers
+				bundle.ParallelQuantum = results[0].Quantum
+			}
+			for _, r := range results {
+				if !r.WarpInstsMatch {
+					fail(fmt.Errorf("agreement: %s: simulated warp instructions differ between serial and parallel loops", r.Name))
+				}
+				if r.MaxCycleDivergence > *maxDivergence {
+					fail(fmt.Errorf("agreement: %s: cycle divergence %.4f exceeds -max-divergence %.4f",
+						r.Name, r.MaxCycleDivergence, *maxDivergence))
+				}
+			}
+		}
+	}
 	if want["sensitivity"] && !dead() {
 		sw := mc.StartPhase("target.sensitivity")
 		results, cellErrs, err := experiments.RunSensitivityParallel(opts)
@@ -327,6 +369,21 @@ func main() {
 			fail(err)
 		}
 	}
+}
+
+// parseParallelSM maps the -parallel-sm flag to a gpusim worker count:
+// "off"/"0"/"1" select the serial loop (0), anything else must be an
+// integer > 1.
+func parseParallelSM(s string) (int, error) {
+	switch s {
+	case "", "off", "0", "1":
+		return 0, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 2 {
+		return 0, fmt.Errorf("-parallel-sm: want off or an integer > 1, got %q", s)
+	}
+	return n, nil
 }
 
 // clampScale caps the calibration workload used for throughput measurement;

@@ -284,7 +284,8 @@ func SampleLaunch(sim *gpusim.Simulator, l *kernel.Launch, lp *funcsim.LaunchPro
 		OnTBRetire:   func(tb, sm int, cycle int64) { rs.onRetire(tb) },
 		OnUnitClose:  rs.onUnitClose,
 	}
-	res := sim.RunLaunch(l, gpusim.RunOptions{Hooks: hooks, Metrics: opts.Metrics, Ctx: opts.Ctx})
+	res := sim.RunLaunch(l, gpusim.RunOptions{Hooks: hooks, Metrics: opts.Metrics, Ctx: opts.Ctx,
+		Workers: opts.SimWorkers, Quantum: opts.SimQuantum})
 
 	ls := &LaunchSample{
 		Result:          res,

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"tbpoint/internal/gpusim"
+	"tbpoint/internal/workloads"
+)
+
+// AgreementResult quantifies how far the epoch-synchronized parallel event
+// loop diverges from the serial reference on one benchmark: every launch is
+// simulated twice — once per loop — and compared. The parallel loop defers
+// cross-SM memory traffic to epoch barriers, so cycle counts drift slightly
+// (bounded by the quantum); instruction and thread-block counts must match
+// exactly, because the epochs change event timing, never the work done.
+type AgreementResult struct {
+	Name    string `json:"name"`
+	Workers int    `json:"workers"`
+	// Quantum is the epoch length the parallel runs used (0 is recorded as
+	// the resolved gpusim.DefaultQuantum).
+	Quantum int64 `json:"quantum"`
+	// SerialCycles / ParallelCycles sum the per-launch cycle counts.
+	SerialCycles   int64 `json:"serial_cycles"`
+	ParallelCycles int64 `json:"parallel_cycles"`
+	// MaxCycleDivergence is the largest per-launch relative cycle error
+	// |parallel-serial| / serial across the benchmark's launches.
+	MaxCycleDivergence float64 `json:"max_cycle_divergence"`
+	// WarpInstsMatch reports whether every launch simulated exactly the
+	// same warp instructions under both loops (it must).
+	WarpInstsMatch bool `json:"warpinsts_match"`
+}
+
+// RunParallelAgreement runs every selected benchmark's launches under both
+// the serial and the parallel event loop and reports the divergence. The
+// worker count is opts.SimWorkers (minimum 2 — an agreement check of serial
+// against itself would be vacuous) and the quantum opts.SimQuantum
+// (0 = gpusim.DefaultQuantum).
+func RunParallelAgreement(opts Options) ([]AgreementResult, error) {
+	specs, err := opts.specs()
+	if err != nil {
+		return nil, err
+	}
+	workers := opts.SimWorkers
+	if workers <= 1 {
+		workers = 8
+	}
+	quantum := opts.SimQuantum
+	if quantum < 1 {
+		quantum = gpusim.DefaultQuantum
+	}
+	var out []AgreementResult
+	for _, s := range specs {
+		if err := ctxErr(opts.Ctx); err != nil {
+			return out, err
+		}
+		sim, err := gpusim.New(gpusim.DefaultConfig())
+		if err != nil {
+			return out, err
+		}
+		app := s.Build(workloads.Config{Scale: opts.Scale, Seed: opts.Seed})
+		unit := opts.unitSize(app.TotalWarpInsts())
+		ser := fullAppCtx(opts.Ctx, sim, app, unit, nil, 0, 0)
+		par := fullAppCtx(opts.Ctx, sim, app, unit, nil, workers, quantum)
+		if ser.Aborted || par.Aborted {
+			if err := ctxErr(opts.Ctx); err != nil {
+				return out, err
+			}
+			return out, fmt.Errorf("experiments: %s: agreement run aborted", s.Name)
+		}
+		r := AgreementResult{Name: s.Name, Workers: workers, Quantum: quantum, WarpInstsMatch: true}
+		for i := range ser.Launches {
+			sl, pl := ser.Launches[i], par.Launches[i]
+			r.SerialCycles += sl.Cycles
+			r.ParallelCycles += pl.Cycles
+			if sl.SimulatedWarpInsts != pl.SimulatedWarpInsts {
+				r.WarpInstsMatch = false
+			}
+			if sl.Cycles > 0 {
+				div := float64(pl.Cycles-sl.Cycles) / float64(sl.Cycles)
+				if div < 0 {
+					div = -div
+				}
+				if div > r.MaxCycleDivergence {
+					r.MaxCycleDivergence = div
+				}
+			}
+		}
+		opts.progress("# %-8s serial %d cycles | parallel %d | max divergence %.4f | insts match %v",
+			r.Name, r.SerialCycles, r.ParallelCycles, r.MaxCycleDivergence, r.WarpInstsMatch)
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// PrintAgreement writes the agreement table in the repo's report style.
+func PrintAgreement(w io.Writer, rs []AgreementResult) {
+	fmt.Fprintf(w, "Serial vs parallel event-loop agreement (workers/quantum per row)\n")
+	fmt.Fprintf(w, "%-10s %8s %8s %14s %14s %10s %6s\n",
+		"bench", "workers", "quantum", "serial cyc", "parallel cyc", "max div%", "insts")
+	for _, r := range rs {
+		insts := "ok"
+		if !r.WarpInstsMatch {
+			insts = "DIFF"
+		}
+		fmt.Fprintf(w, "%-10s %8d %8d %14d %14d %10.3f %6s\n",
+			r.Name, r.Workers, r.Quantum, r.SerialCycles, r.ParallelCycles,
+			r.MaxCycleDivergence*100, insts)
+	}
+}

@@ -16,6 +16,9 @@ type ThroughputResult struct {
 	WarpInsts   int64   `json:"warpinsts"`
 	Seconds     float64 `json:"seconds"`
 	WarpInstsPS float64 `json:"warpinsts_per_sec"`
+	// Workers > 1 marks a case running the epoch-synchronized parallel
+	// event loop with that many workers; 0 is the serial loop.
+	Workers int `json:"workers,omitempty"`
 }
 
 // ThroughputReport is the payload of BENCH_gpusim.json: the measured
@@ -34,15 +37,42 @@ type ThroughputReport struct {
 	// design targets > 0.95 for the disabled collector and this field
 	// records the *enabled* cost, which subsumes it).
 	MetricsOverhead float64 `json:"metrics_overhead,omitempty"`
+	// ParallelScaling is the parallel-over-serial throughput ratio on the
+	// black workload (eventloop-black-par8 / eventloop-black). On a
+	// single-core host this measures the parallel path's algorithmic
+	// advantage (batched memory servicing, bucketed wake wheel); with real
+	// cores it additionally captures hardware scaling.
+	ParallelScaling float64 `json:"parallel_scaling,omitempty"`
+	// GateThresholds overrides cmd/benchgate's allowed fractional
+	// regression per case (absent case = the gate's -threshold flag).
+	// Parallel cases get a looser bound: epoch scheduling is more
+	// sensitive to host scheduling noise than the serial loop.
+	GateThresholds map[string]float64 `json:"gate_thresholds,omitempty"`
 }
 
-// SeedBaseline is the seed simulator's measured throughput (warpinsts/s)
-// for the benchmark cases below, recorded with
-// `go test -bench . -benchtime 1000x` before the event-calendar scheduler
-// landed.
-var SeedBaseline = map[string]float64{
-	"table1-cfd":   4246336, // BenchmarkTable1SimulatorThroughput
-	"membound-lbm": 3303572, // BenchmarkSimulatorMemoryBound
+// Baseline is the recorded reference throughput (warpinsts/s) the speedup
+// column is computed against. The values were promoted from the serial
+// event-calendar build measured just before the parallel event loop landed
+// (the growth seed's pre-event-loop rates were table1-cfd 4246336,
+// membound-lbm 3303572), so speedups now answer "what did the parallel
+// engine buy" rather than re-crediting the event-calendar work forever.
+var Baseline = map[string]float64{
+	"table1-cfd":              8162242,
+	"membound-lbm":            5043771,
+	"eventloop-black":         12345729,
+	"eventloop-black-metrics": 11872264,
+}
+
+// GateThresholds is the per-case allowed fractional regression recorded
+// into the report for cmd/benchgate: serial cases keep the historic 20%,
+// the parallel-scaling case gets 30% headroom because epoch-barrier timing
+// is noisier under host contention.
+var GateThresholds = map[string]float64{
+	"table1-cfd":              0.20,
+	"membound-lbm":            0.20,
+	"eventloop-black":         0.20,
+	"eventloop-black-metrics": 0.20,
+	"eventloop-black-par8":    0.30,
 }
 
 // MeasureThroughput times the simulator on the standard throughput cases
@@ -54,13 +84,17 @@ func MeasureThroughput(minDuration time.Duration) []ThroughputResult {
 		name, bench string
 		scale       float64
 		metrics     bool
+		workers     int
 	}{
-		{"table1-cfd", "cfd", 0.05, false},
-		{"membound-lbm", "lbm", 0.01, false},
-		{"eventloop-black", "black", 0.05, false},
+		{"table1-cfd", "cfd", 0.05, false, 0},
+		{"membound-lbm", "lbm", 0.01, false, 0},
+		{"eventloop-black", "black", 0.05, false, 0},
 		// Same workload with a live collector: the pair quantifies the
 		// metrics layer's enabled overhead (see MetricsOverhead).
-		{"eventloop-black-metrics", "black", 0.05, true},
+		{"eventloop-black-metrics", "black", 0.05, true, 0},
+		// Same workload on the epoch-synchronized parallel event loop; the
+		// ratio against eventloop-black is ParallelScaling.
+		{"eventloop-black-par8", "black", 0.05, false, 8},
 	}
 	var out []ThroughputResult
 	for _, c := range cases {
@@ -74,7 +108,7 @@ func MeasureThroughput(minDuration time.Duration) []ThroughputResult {
 		var totalInsts int64
 		var totalSecs, best float64
 		for totalSecs < minDuration.Seconds() {
-			var ropts gpusim.RunOptions
+			ropts := gpusim.RunOptions{Workers: c.workers}
 			if c.metrics {
 				ropts.Metrics = metrics.New()
 			}
@@ -94,6 +128,7 @@ func MeasureThroughput(minDuration time.Duration) []ThroughputResult {
 			WarpInsts:   totalInsts,
 			Seconds:     totalSecs,
 			WarpInstsPS: best,
+			Workers:     c.workers,
 		})
 	}
 	return out
@@ -103,9 +138,10 @@ func MeasureThroughput(minDuration time.Duration) []ThroughputResult {
 // numbers, seed baseline, speedups) as indented JSON.
 func WriteThroughputJSON(w io.Writer, minDuration time.Duration) error {
 	rep := ThroughputReport{
-		Baseline: SeedBaseline,
-		Current:  MeasureThroughput(minDuration),
-		Speedup:  map[string]float64{},
+		Baseline:       Baseline,
+		Current:        MeasureThroughput(minDuration),
+		Speedup:        map[string]float64{},
+		GateThresholds: GateThresholds,
 	}
 	rates := map[string]float64{}
 	for _, r := range rep.Current {
@@ -116,6 +152,9 @@ func WriteThroughputJSON(w io.Writer, minDuration time.Duration) error {
 	}
 	if off, on := rates["eventloop-black"], rates["eventloop-black-metrics"]; off > 0 && on > 0 {
 		rep.MetricsOverhead = on / off
+	}
+	if ser, par := rates["eventloop-black"], rates["eventloop-black-par8"]; ser > 0 && par > 0 {
+		rep.ParallelScaling = par / ser
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

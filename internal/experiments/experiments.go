@@ -49,6 +49,15 @@ type Options struct {
 	// TBPoint overrides the TBPoint options (nil = core.DefaultOptions),
 	// for threshold sweeps and ablations.
 	TBPoint *core.Options
+	// SimWorkers selects the simulator's epoch-parallel event loop for the
+	// harness's simulations (full references and, unless the TBPoint
+	// override says otherwise, the representative samples): >1 runs gpusim
+	// with that many workers per launch, 0/1 keeps the bit-identical serial
+	// loop. The CLIs wire -parallel-sm here; results record the mode.
+	SimWorkers int
+	// SimQuantum is the parallel loop's epoch length in cycles (<1 =
+	// gpusim.DefaultQuantum). Ignored when SimWorkers <= 1.
+	SimQuantum int64
 	// Ctx, when non-nil, makes the harness cancellable end to end: grids
 	// stop claiming new cells, in-flight simulations abort at their next
 	// sampling-unit boundary, and the Run* functions return Ctx's error.
@@ -127,10 +136,17 @@ func (o Options) unitSize(totalInsts int64) int64 {
 }
 
 func (o Options) tbpointOptions() core.Options {
+	tb := core.DefaultOptions()
 	if o.TBPoint != nil {
-		return *o.TBPoint
+		tb = *o.TBPoint
 	}
-	return core.DefaultOptions()
+	// The harness's parallel-simulation mode flows into the pipeline's
+	// representative simulations unless an explicit TBPoint override
+	// already chose a mode.
+	if tb.SimWorkers == 0 {
+		tb.SimWorkers, tb.SimQuantum = o.SimWorkers, o.SimQuantum
+	}
+	return tb
 }
 
 func (o Options) progress(format string, args ...interface{}) {
@@ -145,12 +161,19 @@ func FullApp(sim *gpusim.Simulator, app *kernel.App, unitInsts int64) *sampling.
 	return FullAppMetrics(sim, app, unitInsts, nil)
 }
 
+// FullAppParallel is FullApp with each launch simulated by gpusim's
+// epoch-synchronized parallel event loop (workers > 1); quantum < 1 selects
+// gpusim.DefaultQuantum. workers <= 1 is exactly FullApp.
+func FullAppParallel(sim *gpusim.Simulator, app *kernel.App, unitInsts int64, workers int, quantum int64) *sampling.AppRun {
+	return fullAppCtx(nil, sim, app, unitInsts, nil, workers, quantum)
+}
+
 // FullAppMetrics is FullApp with the run's simulator counters and wall time
 // (phase experiments.full_ref) recorded into mc. Each launch records into a
 // private collector merged in launch order afterwards, so counter totals do
 // not depend on worker interleaving. A nil mc behaves exactly like FullApp.
 func FullAppMetrics(sim *gpusim.Simulator, app *kernel.App, unitInsts int64, mc *metrics.Collector) *sampling.AppRun {
-	return fullAppCtx(nil, sim, app, unitInsts, mc)
+	return fullAppCtx(nil, sim, app, unitInsts, mc, 0, 0)
 }
 
 // fullAppCtx is the cancellable core of FullApp: a cancelled ctx stops
@@ -158,7 +181,7 @@ func FullAppMetrics(sim *gpusim.Simulator, app *kernel.App, unitInsts int64, mc 
 // sampling-unit boundary, returning a partial AppRun flagged Aborted (with
 // nil entries for launches never started). A nil ctx behaves exactly like
 // FullAppMetrics.
-func fullAppCtx(ctx context.Context, sim *gpusim.Simulator, app *kernel.App, unitInsts int64, mc *metrics.Collector) *sampling.AppRun {
+func fullAppCtx(ctx context.Context, sim *gpusim.Simulator, app *kernel.App, unitInsts int64, mc *metrics.Collector, workers int, quantum int64) *sampling.AppRun {
 	// Launches are independent simulations of the same machine
 	// configuration, so they fan out over the shared worker budget; results
 	// land at their launch index, making the run identical to a sequential
@@ -178,6 +201,8 @@ func fullAppCtx(ctx context.Context, sim *gpusim.Simulator, app *kernel.App, uni
 			FixedUnitInsts: unitInsts,
 			CollectBBV:     true,
 			Ctx:            ctx,
+			Workers:        workers,
+			Quantum:        quantum,
 		}
 		if mcs != nil {
 			ropts.Metrics = mcs[i]
@@ -237,7 +262,7 @@ func RunBenchmark(spec *workloads.Spec, cfg gpusim.Config, opts Options) (*Bench
 	prof := core.ProfileAppMetrics(app, mc)
 	unit := opts.unitSize(app.TotalWarpInsts())
 
-	full := fullAppCtx(opts.Ctx, sim, app, unit, mc)
+	full := fullAppCtx(opts.Ctx, sim, app, unit, mc, opts.SimWorkers, opts.SimQuantum)
 	if full.Aborted {
 		if err := ctxErr(opts.Ctx); err != nil {
 			return nil, err

@@ -171,7 +171,8 @@ func RunSensitivityParallel(opts Options) ([]SensResult, []CellError, error) {
 			if err != nil {
 				return err
 			}
-			full := fullAppCtx(ctx, sim, p.prof.App, opts.unitSize(p.prof.App.TotalWarpInsts()), nil)
+			full := fullAppCtx(ctx, sim, p.prof.App, opts.unitSize(p.prof.App.TotalWarpInsts()), nil,
+				opts.SimWorkers, opts.SimQuantum)
 			if full.Aborted {
 				if err := ctxErr(ctx); err != nil {
 					return err

@@ -153,4 +153,20 @@ type RunOptions struct {
 	// single-writer structure — concurrent RunLaunch calls must each use
 	// their own collector and Merge afterwards.
 	Metrics *metrics.Collector
+	// Workers, when > 1, runs the launch in epoch-synchronized parallel
+	// mode: SMs are partitioned across Workers goroutines that advance
+	// independently for Quantum cycles at a time, exchanging memory-system
+	// traffic at a barrier between epochs (see parallel.go). Results are
+	// deterministic for a fixed Quantum and — because no cross-SM state is
+	// touched between barriers and barrier processing uses a globally
+	// sorted order — independent of the worker count; they differ slightly
+	// from serial mode (cross-SM memory timing is quantized to epochs, with
+	// divergence bounded by the quantum). Zero or one selects the serial
+	// event loop, which is bit-identical to builds without this field.
+	Workers int
+	// Quantum is the parallel-mode epoch length in cycles; values < 1
+	// select DefaultQuantum. Ignored by serial runs. Larger quanta
+	// amortize barriers harder (faster) at the cost of more cross-SM
+	// timing divergence.
+	Quantum int64
 }

@@ -341,6 +341,14 @@ type runState struct {
 	fixedStartCycle int64
 	bbv             []int64
 
+	// par holds the epoch-parallel engine's state (see parallel.go). It is
+	// lazily allocated on the first parallel run and recycled with the
+	// arena; serial runs never touch it. parRun is true while the current
+	// run uses the parallel engine — it routes rs.wake to the per-SM
+	// parallel wake wheel instead of the serial heap.
+	par    *parState
+	parRun bool
+
 	addrs [trace.MaxRequests]uint64
 }
 
@@ -353,6 +361,26 @@ type runCounters struct {
 	wakePushes                              int64
 	wheelParks, calParks                    int64
 	parkedWheel                             int64 // current wheel population; maintained only when mc != nil
+	epochs, deferredReqs                    int64 // parallel mode only
+}
+
+// addFrom folds another scratch set into c; the parallel barrier uses it to
+// merge per-shard counters (all fields are order-independent sums).
+func (c *runCounters) addFrom(o *runCounters) {
+	c.smVisits += o.smVisits
+	c.stallVisits += o.stallVisits
+	c.issueALU += o.issueALU
+	c.issueMem += o.issueMem
+	c.issueBar += o.issueBar
+	c.issueExit += o.issueExit
+	c.timeJumps += o.timeJumps
+	c.jumpedCycles += o.jumpedCycles
+	c.wakePushes += o.wakePushes
+	c.wheelParks += o.wheelParks
+	c.calParks += o.calParks
+	c.parkedWheel += o.parkedWheel
+	c.epochs += o.epochs
+	c.deferredReqs += o.deferredReqs
 }
 
 // runArena owns the reusable backing state of one launch simulation. Arenas
@@ -410,6 +438,7 @@ func (ar *runArena) reset(s *Simulator, prov trace.Provider, opts RunOptions) *r
 		rs.done = opts.Ctx.Done()
 	}
 	rs.aborted = false
+	rs.parRun = false
 	rs.mem.setMetrics(opts.Metrics)
 	rs.res = &LaunchResult{SMs: make([]SMStat, s.cfg.NumSMs)}
 	rs.occ = 0
@@ -475,7 +504,11 @@ func (s *Simulator) RunLaunchProvider(l *kernel.Launch, prov trace.Provider, opt
 	rs := ar.reset(s, prov, opts)
 	rs.occ = s.cfg.Limits.BlocksPerSM(l.Kernel)
 	rs.prepareSlots(s.cfg.NumSMs * rs.occ)
-	rs.run()
+	if w := opts.Workers; w > 1 && s.cfg.NumSMs > 1 {
+		rs.runParallel()
+	} else {
+		rs.run()
+	}
 	res := rs.res
 	rs.res = nil
 	rs.prov = nil
@@ -601,8 +634,13 @@ func (rs *runState) run() {
 		rs.cycle++
 	}
 
-	// Close the trailing fixed unit, if any. An aborted run keeps only the
-	// units that closed completely before the abort.
+	rs.finishRun()
+}
+
+// finishRun closes the trailing fixed unit, if any, and assembles the
+// LaunchResult. Shared by the serial and parallel event loops; an aborted
+// run keeps only the units that closed completely before the abort.
+func (rs *runState) finishRun() {
 	if !rs.aborted && rs.opts.FixedUnitInsts > 0 && rs.totalIssued > rs.fixedStartInsts {
 		rs.closeFixedUnit()
 	}
@@ -641,6 +679,8 @@ func (rs *runState) flushMetrics(res *LaunchResult) {
 	mc.Add(metrics.SimIssueExit, uint64(rs.mct.issueExit))
 	mc.Add(metrics.SimTimeJumps, uint64(rs.mct.timeJumps))
 	mc.Add(metrics.SimJumpedCycles, uint64(rs.mct.jumpedCycles))
+	mc.Add(metrics.SimEpochs, uint64(rs.mct.epochs))
+	mc.Add(metrics.SimDeferredReqs, uint64(rs.mct.deferredReqs))
 	mc.Add(metrics.SchedWakePushes, uint64(rs.mct.wakePushes))
 	mc.Add(metrics.SchedWheelParks, uint64(rs.mct.wheelParks))
 	mc.Add(metrics.SchedCalParks, uint64(rs.mct.calParks))
@@ -786,12 +826,24 @@ func (rs *runState) dispatchOne(sm *smState) bool {
 }
 
 func (rs *runState) wake(ref warpRef, at int64) {
-	sm := &rs.sms[rs.tbs[ref.slot].sm]
+	smID := rs.tbs[ref.slot].sm
+	sm := &rs.sms[smID]
 	if at <= rs.cycle {
 		sm.pushReady(ref)
 		return
 	}
 	rs.mct.wakePushes++
+	if rs.parRun {
+		// Parallel mode keeps warp wakes in the per-SM timing wheel. A wake
+		// at or before the wheel's drain mark would pop at the next drain
+		// (the coming epoch's start) anyway, so it goes ready directly.
+		if pw := &rs.par.sms[smID].wheel; at > pw.pos {
+			pw.push(ref, at)
+		} else {
+			sm.pushReady(ref)
+		}
+		return
+	}
 	sm.wakes.push(wakeEntry{cycle: at, ref: ref})
 }
 

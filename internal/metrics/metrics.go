@@ -66,6 +66,8 @@ const (
 	SimIssueExit                   // issued: EXIT
 	SimTimeJumps                   // idle jumps to the next recorded wake
 	SimJumpedCycles                // cycles skipped by those jumps
+	SimEpochs                      // parallel-mode epochs executed
+	SimDeferredReqs                // parallel-mode L1 misses deferred to a barrier
 
 	// Event-calendar scheduler (internal/gpusim).
 	SchedWakePushes // warp wake-heap pushes
@@ -126,6 +128,8 @@ var counterNames = [NumCounters]string{
 	SimIssueExit:    "sim.issue_exit",
 	SimTimeJumps:    "sim.time_jumps",
 	SimJumpedCycles: "sim.jumped_cycles",
+	SimEpochs:       "sim.epochs",
+	SimDeferredReqs: "sim.deferred_reqs",
 
 	SchedWakePushes: "sched.wake_pushes",
 	SchedWheelParks: "sched.wheel_parks",

@@ -17,8 +17,14 @@
 #   fuzz    10s fuzz smoke over each existing fuzz target
 #   golden  cmd/goldencheck re-runs the five determinism benchmarks and
 #           diffs the full metrics counter set against testdata goldens
+#   parsm   the -parallel-sm event loop: race-detector pass over the
+#           TestParallel* suite (barrier hammer, determinism, worker-count
+#           invariance, chaos cancellation), then a serial-vs-parallel
+#           agreement run via cmd/experiments that fails on any
+#           instruction-count mismatch or cycle divergence > 5%
 #   bench   cmd/benchgate re-measures throughput against BENCH_gpusim.json
-#           (advisory by default; BENCH_HARD=1 makes drops fail)
+#           (advisory by default; BENCH_HARD=1 makes drops fail; per-case
+#           thresholds come from the report's gate_thresholds section)
 #
 # Usage: scripts/ci.sh [fast]
 #   fast         skip the fuzz and bench stages (quick pre-commit loop)
@@ -134,6 +140,17 @@ run_crash_recovery() {
   )
 }
 
+run_parsm() {
+  # The parallel event loop's own gates: the race detector over its test
+  # suite (epoch barriers, pool shutdown, mid-epoch cancellation), then an
+  # end-to-end audit that the parallel loop simulates exactly the serial
+  # loop's instructions with bounded cycle divergence. -count=1 because
+  # these tests exist to exercise real goroutine interleavings.
+  go test -race -count=1 -run 'TestParallel' ./internal/gpusim/
+  go run ./cmd/experiments -par 1 -scale 0.02 -bench stream,black,cfd \
+    -parallel-sm 8 -max-divergence 0.05 agreement >/dev/null
+}
+
 run_bench() {
   local args=()
   if [[ "${BENCH_HARD:-0}" == "1" ]]; then
@@ -152,6 +169,7 @@ if [[ "$FAST" == "0" && "${SKIP_FUZZ:-0}" != "1" ]]; then
   stage fuzz run_fuzz
 fi
 stage golden go run ./cmd/goldencheck
+stage parsm run_parsm
 if [[ "$FAST" == "0" ]]; then
   stage bench run_bench
 fi

@@ -94,6 +94,10 @@ type (
 	RunOptions = gpusim.RunOptions
 )
 
+// DefaultQuantum is the epoch length (in cycles) the parallel event loop
+// uses when RunOptions.Quantum / Options.SimQuantum is zero.
+const DefaultQuantum = gpusim.DefaultQuantum
+
 // Observability types (see internal/metrics).
 type (
 	// Collector accumulates counters, distributions and phase timings; a
