@@ -82,8 +82,22 @@ func main() {
 	if regressions > 0 {
 		msg := fmt.Sprintf("%d case(s) dropped below their tolerated ratio vs %s", regressions, *file)
 		if *hard {
+			annotate("error", msg)
 			fail("%s", msg)
 		}
+		annotate("warning", msg)
 		fmt.Printf("benchgate: WARNING (advisory): %s — rerun with -hard on the reference machine to enforce\n", msg)
+	} else {
+		annotate("notice", fmt.Sprintf("all %d case(s) within tolerance vs %s", len(fresh), *file))
 	}
+}
+
+// annotate surfaces the advisory verdict as a GitHub Actions workflow
+// annotation (shown on the run summary and the PR checks tab) when running
+// under Actions; a no-op everywhere else.
+func annotate(level, msg string) {
+	if os.Getenv("GITHUB_ACTIONS") != "true" {
+		return
+	}
+	fmt.Printf("::%s title=benchgate::%s\n", level, msg)
 }

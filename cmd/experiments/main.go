@@ -16,6 +16,10 @@
 // reproducing an uninterrupted run's -json output byte for byte. -retries
 // and -cell-deadline bound how hard a failing cell is pushed before it is
 // recorded in the results' errors section.
+//
+// The target engine itself lives in internal/experiments (RunTargets) and
+// is shared with the tbpointd job server, so a served job with the same
+// options produces a byte-identical results bundle.
 package main
 
 import (
@@ -35,7 +39,6 @@ import (
 	"tbpoint/internal/durable"
 	"tbpoint/internal/experiments"
 	"tbpoint/internal/faultcheck"
-	"tbpoint/internal/gpusim"
 	"tbpoint/internal/metrics"
 	"tbpoint/internal/par"
 )
@@ -68,13 +71,13 @@ func main() {
 		os.Exit(1)
 	}
 
-	// aborted flips when -timeout (or SIGINT) cuts the run short. The defer
-	// is registered before the profile defers so it runs last: profiles and
-	// JSON outputs flush, then the process reports the abort via exit code.
-	aborted := false
+	// exitCode is applied by the first registered defer, so it runs after
+	// the profile defers: profiles and JSON outputs flush, then the process
+	// reports aborts and fatal target errors via the exit status.
+	exitCode := 0
 	defer func() {
-		if aborted {
-			os.Exit(1)
+		if exitCode != 0 {
+			os.Exit(exitCode)
 		}
 	}()
 
@@ -123,7 +126,7 @@ func main() {
 
 	targets := flag.Args()
 	if len(targets) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: experiments [flags] <table1|table6|fig5|fig8|fig9|fig10|fig11|fig12|fig13|motivation|ablations|accuracy|sensitivity|agreement|all>...")
+		fmt.Fprintf(os.Stderr, "usage: experiments [flags] <%s>...\n", strings.Join(experiments.TargetNames(), "|"))
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -187,158 +190,21 @@ func main() {
 	opts.Retry = experiments.RetryPolicy{Attempts: *retries, Seed: opts.Seed}
 	opts.CellDeadline = *cellDeadline
 
-	want := map[string]bool{}
-	for _, t := range targets {
-		if t == "all" {
-			for _, x := range []string{"table1", "table6", "fig5", "fig8", "motivation", "accuracy", "sensitivity"} {
-				want[x] = true
-			}
-			continue
-		}
-		want[t] = true
+	spec := experiments.RunSpec{
+		Targets:       targets,
+		Samples:       *samples,
+		MaxDivergence: *maxDivergence,
 	}
-	// Grouped targets share one expensive run.
-	if want["fig9"] || want["fig10"] || want["fig11"] {
-		want["accuracy"] = true
-	}
-	if want["fig12"] || want["fig13"] {
-		want["sensitivity"] = true
-	}
+	bundle, runErr := experiments.RunTargets(opts, spec, os.Stdout)
 
-	w := os.Stdout
-	bundle := &experiments.Results{Scale: opts.Scale, Seed: opts.Seed}
-	if opts.SimWorkers > 1 {
-		bundle.ParallelSM = opts.SimWorkers
-		bundle.ParallelQuantum = opts.SimQuantum
-		if bundle.ParallelQuantum < 1 {
-			bundle.ParallelQuantum = gpusim.DefaultQuantum
-		}
-	}
-
-	// dead reports (and records) whether the run has been cut short;
-	// remaining targets are skipped but the output files are still written.
-	dead := func() bool {
-		if ctx.Err() != nil {
-			aborted = true
-		}
-		return aborted
-	}
-	// handle classifies a target's error: cancellation marks the run aborted
-	// and lets the partial bundle flush; anything else is fatal. It returns
-	// true when the target completed cleanly.
-	handle := func(err error) bool {
-		if err == nil {
-			return true
-		}
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			aborted = true
+	if bundle.Aborted {
+		exitCode = 1
+		if err := ctx.Err(); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments: run aborted:", err)
-			return false
-		}
-		fail(err)
-		return false
-	}
-
-	if want["table6"] && !dead() {
-		sw := mc.StartPhase("target.table6")
-		rows, err := experiments.RunTable6(opts)
-		sw.Stop()
-		if handle(err) {
-			experiments.PrintTable6(w, rows, opts.Scale)
-			bundle.Table6 = rows
+		} else {
+			fmt.Fprintln(os.Stderr, "experiments: run aborted")
 		}
 	}
-	if want["table1"] && !dead() {
-		sw := mc.StartPhase("target.table1")
-		t1 := experiments.RunTable1PerKernelMetrics(clampScale(opts.Scale, 0.05), mc)
-		sw.Stop()
-		experiments.PrintTable1(w, t1)
-		bundle.Table1 = t1
-	}
-	if want["fig5"] && !dead() {
-		f5 := experiments.RunFig5(*samples, opts.Seed+5)
-		experiments.PrintFig5(w, f5)
-		bundle.Fig5 = f5
-	}
-	if want["fig8"] && !dead() {
-		sw := mc.StartPhase("target.fig8")
-		series, err := experiments.RunFig8([]string{"conv", "mst"}, opts)
-		sw.Stop()
-		if handle(err) {
-			experiments.PrintFig8(w, series)
-			bundle.Fig8 = series
-		}
-	}
-	if want["ablations"] && !dead() {
-		sw := mc.StartPhase("target.ablations")
-		results, err := experiments.RunAblations(opts)
-		sw.Stop()
-		if handle(err) {
-			experiments.PrintAblations(w, results)
-			bundle.Ablations = results
-		}
-	}
-	if want["motivation"] && !dead() {
-		sw := mc.StartPhase("target.motivation")
-		results, err := experiments.RunMotivation(opts)
-		sw.Stop()
-		if handle(err) {
-			experiments.PrintMotivation(w, results)
-			bundle.Motivation = results
-		}
-	}
-	if want["accuracy"] && !dead() {
-		sw := mc.StartPhase("target.accuracy")
-		results, cellErrs, err := experiments.RunAccuracyParallel(opts)
-		sw.Stop()
-		bundle.Errors = append(bundle.Errors, cellErrs...)
-		if handle(err) || len(results) > 0 {
-			if want["fig9"] || want["accuracy"] {
-				experiments.PrintFig9(w, results)
-			}
-			if want["fig10"] || want["accuracy"] {
-				experiments.PrintFig10(w, results)
-			}
-			if want["fig11"] || want["accuracy"] {
-				experiments.PrintFig11(w, results)
-			}
-			bundle.Accuracy = results
-		}
-	}
-	if want["agreement"] && !dead() {
-		sw := mc.StartPhase("target.agreement")
-		results, err := experiments.RunParallelAgreement(opts)
-		sw.Stop()
-		if handle(err) {
-			experiments.PrintAgreement(w, results)
-			bundle.ParallelAgreement = results
-			if len(results) > 0 {
-				bundle.ParallelSM = results[0].Workers
-				bundle.ParallelQuantum = results[0].Quantum
-			}
-			for _, r := range results {
-				if !r.WarpInstsMatch {
-					fail(fmt.Errorf("agreement: %s: simulated warp instructions differ between serial and parallel loops", r.Name))
-				}
-				if r.MaxCycleDivergence > *maxDivergence {
-					fail(fmt.Errorf("agreement: %s: cycle divergence %.4f exceeds -max-divergence %.4f",
-						r.Name, r.MaxCycleDivergence, *maxDivergence))
-				}
-			}
-		}
-	}
-	if want["sensitivity"] && !dead() {
-		sw := mc.StartPhase("target.sensitivity")
-		results, cellErrs, err := experiments.RunSensitivityParallel(opts)
-		sw.Stop()
-		bundle.Errors = append(bundle.Errors, cellErrs...)
-		if handle(err) || len(results) > 0 {
-			experiments.PrintFig12(w, results)
-			experiments.PrintFig13(w, results)
-			bundle.Sensitivity = results
-		}
-	}
-	bundle.Aborted = dead()
 	if len(bundle.Errors) > 0 {
 		fmt.Fprintf(os.Stderr, "experiments: %d grid cell(s) failed; see the errors section of -json output\n", len(bundle.Errors))
 	}
@@ -347,6 +213,11 @@ func main() {
 			store.Hits(), store.Writes())
 	}
 
+	// Observability flushes before the exit status is decided: a run cut
+	// short by SIGINT/-timeout or killed by a fatal target error (a broken
+	// checkpoint directory, a failed agreement gate) still writes its
+	// metrics snapshot and partial results bundle, so server-driven and
+	// scripted runs stay observable.
 	if mc != nil {
 		par.StatsInto(mc)
 		snap := mc.Snapshot()
@@ -369,6 +240,10 @@ func main() {
 			fail(err)
 		}
 	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", runErr)
+		exitCode = 1
+	}
 }
 
 // parseParallelSM maps the -parallel-sm flag to a gpusim worker count:
@@ -384,13 +259,4 @@ func parseParallelSM(s string) (int, error) {
 		return 0, fmt.Errorf("-parallel-sm: want off or an integer > 1, got %q", s)
 	}
 	return n, nil
-}
-
-// clampScale caps the calibration workload used for throughput measurement;
-// Table I only needs the rate, not a paper-scale run.
-func clampScale(s, max float64) float64 {
-	if s > max {
-		return max
-	}
-	return s
 }

@@ -2,11 +2,27 @@ package main
 
 import "testing"
 
-func TestClampScale(t *testing.T) {
-	if got := clampScale(1.0, 0.05); got != 0.05 {
-		t.Errorf("clampScale(1, .05) = %v", got)
-	}
-	if got := clampScale(0.01, 0.05); got != 0.01 {
-		t.Errorf("clampScale(.01, .05) = %v", got)
+func TestParseParallelSM(t *testing.T) {
+	for _, tc := range []struct {
+		in      string
+		want    int
+		wantErr bool
+	}{
+		{"off", 0, false},
+		{"", 0, false},
+		{"0", 0, false},
+		{"1", 0, false},
+		{"2", 2, false},
+		{"8", 8, false},
+		{"-3", 0, true},
+		{"x", 0, true},
+	} {
+		got, err := parseParallelSM(tc.in)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("parseParallelSM(%q) err = %v, wantErr %v", tc.in, err, tc.wantErr)
+		}
+		if got != tc.want {
+			t.Errorf("parseParallelSM(%q) = %d, want %d", tc.in, got, tc.want)
+		}
 	}
 }

@@ -1,0 +1,221 @@
+// Command tbpointctl is the command-line client for tbpointd.
+//
+//	tbpointctl submit -scale 0.02 -bench stream accuracy   # prints the job ID
+//	tbpointctl wait j000001                                # blocks, prints status
+//	tbpointctl result -o results.json j000001
+//	tbpointctl cancel j000001
+//
+// The daemon address comes from -addr or the TBPOINTD_ADDR environment
+// variable (default http://127.0.0.1:8338). Status lines are one-per-job
+// key=value text, so shell scripts (the serve CI stage) can awk them apart.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tbpoint/internal/server"
+	"tbpoint/internal/server/client"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: tbpointctl [-addr URL] <command> [flags] [args]
+
+commands:
+  submit [flags] <target>...   submit a job, print its ID
+  status <id>                  print one job's status line
+  wait [-poll d] <id>          block until terminal; exit 0 only for done
+  events <id>                  stream status lines until terminal
+  result [-o file] <id>        download the job's results.json
+  report <id>                  print the job's report text
+  cancel <id>                  cancel a job
+  list                         print a status line per job
+  metrics                      print the server metrics snapshot (JSON)`)
+	os.Exit(2)
+}
+
+func main() {
+	defaultAddr := os.Getenv("TBPOINTD_ADDR")
+	if defaultAddr == "" {
+		defaultAddr = "http://127.0.0.1:8338"
+	}
+	addr := flag.String("addr", defaultAddr, "tbpointd base URL")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() == 0 {
+		usage()
+	}
+	c := client.New(*addr)
+	ctx := context.Background()
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+
+	var err error
+	switch cmd {
+	case "submit":
+		err = cmdSubmit(ctx, c, args)
+	case "status":
+		err = withJob(args, func(id string) error {
+			st, err := c.Status(ctx, id)
+			if err != nil {
+				return err
+			}
+			fmt.Println(statusLine(st))
+			return nil
+		})
+	case "wait":
+		err = cmdWait(ctx, c, args)
+	case "events":
+		err = withJob(args, func(id string) error {
+			return c.Events(ctx, id, func(st server.JobStatus) error {
+				fmt.Println(statusLine(st))
+				return nil
+			})
+		})
+	case "result":
+		err = cmdResult(ctx, c, args)
+	case "report":
+		err = withJob(args, func(id string) error {
+			text, err := c.Report(ctx, id)
+			if err != nil {
+				return err
+			}
+			fmt.Print(text)
+			return nil
+		})
+	case "cancel":
+		err = withJob(args, func(id string) error {
+			st, err := c.Cancel(ctx, id)
+			if err != nil {
+				return err
+			}
+			fmt.Println(statusLine(st))
+			return nil
+		})
+	case "list":
+		jobs, lerr := c.Jobs(ctx)
+		if lerr != nil {
+			err = lerr
+			break
+		}
+		for _, st := range jobs {
+			fmt.Println(statusLine(st))
+		}
+	case "metrics":
+		data, merr := c.Metrics(ctx)
+		if merr != nil {
+			err = merr
+			break
+		}
+		os.Stdout.Write(data)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tbpointctl:", err)
+		os.Exit(1)
+	}
+}
+
+func withJob(args []string, f func(id string) error) error {
+	if len(args) != 1 {
+		return fmt.Errorf("expected exactly one job ID, got %d args", len(args))
+	}
+	return f(args[0])
+}
+
+// statusLine renders a job as one parseable key=value line.
+func statusLine(st server.JobStatus) string {
+	return fmt.Sprintf("id=%s state=%s wall_seconds=%.3f cache_hits=%d cache_misses=%d cells_failed=%d requeues=%d error=%q",
+		st.ID, st.State, st.WallSeconds, st.CacheHits, st.CacheMisses, st.CellsFailed, st.Requeues, st.Error)
+}
+
+func cmdSubmit(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	scale := fs.Float64("scale", 1.0, "workload scale factor")
+	seed := fs.Uint64("seed", 0, "workload/baseline seed")
+	bench := fs.String("bench", "", "comma-separated benchmark subset")
+	samples := fs.Int("samples", 0, "Monte-Carlo samples for fig5 (0 = default)")
+	parallelSM := fs.Int("parallel-sm", 0, "simulator event loop: 0 = serial, N>=2 = epoch-parallel")
+	quantum := fs.Int64("quantum", 0, "epoch length in cycles for -parallel-sm")
+	maxDivergence := fs.Float64("max-divergence", 0, "agreement gate (0 = default 0.05)")
+	retries := fs.Int("retries", 0, "attempts per grid cell (0 = default 1)")
+	cellDeadline := fs.Duration("cell-deadline", 0, "wall-time budget per grid cell")
+	deadline := fs.Duration("deadline", 0, "wall-time budget for the whole job")
+	noCache := fs.Bool("no-cache", false, "compute every cell fresh, ignoring the artifact cache")
+	wait := fs.Bool("wait", false, "block until the job is terminal; print its status line")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		return fmt.Errorf("submit: no targets given")
+	}
+	spec := server.JobSpec{
+		Targets:       fs.Args(),
+		Scale:         *scale,
+		Seed:          *seed,
+		Samples:       *samples,
+		ParallelSM:    *parallelSM,
+		Quantum:       *quantum,
+		MaxDivergence: *maxDivergence,
+		Retries:       *retries,
+		CellDeadline:  server.Duration(*cellDeadline),
+		Deadline:      server.Duration(*deadline),
+		NoCache:       *noCache,
+	}
+	if *bench != "" {
+		spec.Benchmarks = strings.Split(*bench, ",")
+	}
+	st, err := c.Submit(ctx, spec)
+	if err != nil {
+		return err
+	}
+	if !*wait {
+		fmt.Println(st.ID)
+		return nil
+	}
+	final, err := c.Wait(ctx, st.ID, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Println(statusLine(final))
+	if final.State != server.StateDone {
+		os.Exit(1)
+	}
+	return nil
+}
+
+func cmdWait(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("wait", flag.ExitOnError)
+	poll := fs.Duration("poll", 200*time.Millisecond, "status poll interval")
+	fs.Parse(args)
+	return withJob(fs.Args(), func(id string) error {
+		final, err := c.Wait(ctx, id, *poll)
+		if err != nil {
+			return err
+		}
+		fmt.Println(statusLine(final))
+		if final.State != server.StateDone {
+			os.Exit(1)
+		}
+		return nil
+	})
+}
+
+func cmdResult(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("result", flag.ExitOnError)
+	out := fs.String("o", "", "write the results.json here instead of stdout")
+	fs.Parse(args)
+	return withJob(fs.Args(), func(id string) error {
+		data, err := c.Result(ctx, id)
+		if err != nil {
+			return err
+		}
+		if *out == "" {
+			os.Stdout.Write(data)
+			return nil
+		}
+		return os.WriteFile(*out, data, 0o644)
+	})
+}

@@ -1,0 +1,96 @@
+// Command tbpointd is the TBPoint job server: a daemon that accepts
+// experiment-grid jobs over HTTP (see internal/server for the API), queues
+// them, runs them on the shared worker budget, shares an artifact cache
+// across jobs, and re-queues unfinished work after a restart.
+//
+//	tbpointd -state-dir /var/lib/tbpoint &
+//	curl -s localhost:8338/healthz
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tbpoint/internal/experiments"
+	"tbpoint/internal/metrics"
+	"tbpoint/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8338", "listen address (port 0 = ephemeral)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening (for scripts using port 0)")
+	stateDir := flag.String("state-dir", "", "durable state directory: job journal, artifact cache, results (required)")
+	dispatchers := flag.Int("dispatchers", 2, "concurrent jobs (each job's grid cells share the -par budget)")
+	parN := flag.Int("par", 0, "shared worker budget for independent simulations (0 = GOMAXPROCS, 1 = sequential)")
+	paused := flag.Bool("paused", false, "accept and journal jobs without dispatching any (drain mode; a restart without -paused runs them)")
+	verbose := flag.Bool("v", false, "log per-job lifecycle events")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "tbpointd: ", log.LstdFlags)
+	if *stateDir == "" {
+		fmt.Fprintln(os.Stderr, "tbpointd: -state-dir is required")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	experiments.Parallelism = *parN
+
+	var logf func(string, ...interface{})
+	if *verbose {
+		logf = logger.Printf
+	}
+	d, err := server.Open(server.Config{
+		StateDir:    *stateDir,
+		Dispatchers: *dispatchers,
+		Paused:      *paused,
+		Metrics:     metrics.New(),
+		Logf:        logf,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			logger.Fatal(err)
+		}
+	}
+	mode := ""
+	if *paused {
+		mode = ", paused"
+	}
+	logger.Printf("listening on http://%s (state %s, %d dispatchers%s)",
+		ln.Addr(), *stateDir, *dispatchers, mode)
+
+	srv := &http.Server{Handler: d.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		logger.Printf("shutting down")
+		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shCtx)
+	}()
+
+	if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+		logger.Fatal(err)
+	}
+	// Close aborts running jobs and re-queues them in the journal — a
+	// graceful stop leaves exactly the state a crash would, minus torn
+	// files.
+	d.Close()
+	logger.Printf("stopped")
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 )
@@ -89,10 +90,15 @@ func Open(dir string) (*Store, error) {
 }
 
 // quarantine renames a damaged checkpoint aside so it is preserved for
-// inspection but never consulted again.
+// inspection but never consulted again. Only a rename this process won is
+// counted: when several stores scan one directory concurrently (a restart
+// racing a still-dying predecessor), whoever loses the rename race finds
+// the file already set aside, and each damaged file is counted exactly
+// once across all of them.
 func (s *Store) quarantine(path string) {
-	os.Rename(path, path+quarantineExt)
-	s.quarantined++
+	if os.Rename(path, path+quarantineExt) == nil {
+		s.quarantined++
+	}
 }
 
 // fileName derives a checkpoint's file name from its key: keys carry
@@ -144,6 +150,22 @@ func (s *Store) Put(key string, data []byte) error {
 	s.writes++
 	s.mu.Unlock()
 	return nil
+}
+
+// Keys returns every loadable cell key, sorted, so journal scans (the job
+// server's restart recovery) are deterministic.
+func (s *Store) Keys() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.cells))
+	for k := range s.cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // Dir returns the store's directory ("" for the disabled store).

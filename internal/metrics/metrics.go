@@ -29,6 +29,14 @@
 // For genuinely shared counters (the internal/par worker stats) AtomicAdd
 // provides race-safe increments.
 //
+// An aggregate collector — one that only ever receives Merge, AtomicAdd and
+// phase timings — may additionally be observed while the run is live:
+// Snapshot and Count use atomic reads (and Merge atomic writes), which is
+// what lets the job server stream per-phase progress from a running job's
+// collector. The single-writer rule still applies to Inc/Add/Observe: a
+// collector being written on a hot path must not be snapshotted
+// concurrently.
+//
 // # Determinism
 //
 // Counters and distributions observed from a deterministic simulation are
@@ -113,6 +121,17 @@ const (
 	ExpCellRetries     // retry attempts beyond each cell's first
 	ExpCheckpointsSave // successful checkpoint journal writes
 
+	// Job server (internal/server). Cache hits/misses count grid cells a
+	// job satisfied from / published into the shared artifact cache, so a
+	// second client requesting an overlapping grid shows up as hits.
+	ServerJobsSubmitted
+	ServerJobsDone
+	ServerJobsFailed
+	ServerJobsCancelled
+	ServerJobsRequeued // non-terminal jobs re-queued when the daemon restarted
+	ServerCacheHits
+	ServerCacheMisses
+
 	NumCounters
 )
 
@@ -166,6 +185,14 @@ var counterNames = [NumCounters]string{
 	ExpCellsFailed:     "exp.cells_failed",
 	ExpCellRetries:     "exp.cell_retries",
 	ExpCheckpointsSave: "exp.checkpoint_writes",
+
+	ServerJobsSubmitted: "server.jobs_submitted",
+	ServerJobsDone:      "server.jobs_done",
+	ServerJobsFailed:    "server.jobs_failed",
+	ServerJobsCancelled: "server.jobs_cancelled",
+	ServerJobsRequeued:  "server.jobs_requeued",
+	ServerCacheHits:     "server.cache_hits",
+	ServerCacheMisses:   "server.cache_misses",
 }
 
 // Name returns the counter's report name ("group.name").
@@ -251,12 +278,14 @@ func (c *Collector) AtomicAdd(id Counter, n uint64) {
 	}
 }
 
-// Count returns the counter's current value (0 on a nil collector).
+// Count returns the counter's current value (0 on a nil collector). The
+// read is atomic, so an aggregate collector may be inspected while workers
+// AtomicAdd into it.
 func (c *Collector) Count(id Counter) uint64 {
 	if c == nil {
 		return 0
 	}
-	return c.c[id]
+	return atomic.LoadUint64(&c.c[id])
 }
 
 // Observe records one sample of a distribution.
@@ -333,8 +362,13 @@ func (c *Collector) Merge(src *Collector) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// Atomic adds (not plain +=) because AtomicAdd writers do not take the
+	// mutex: an aggregate receiving Merge from one worker and AtomicAdd
+	// from another must stay race-free.
 	for i := range src.c {
-		c.c[i] += src.c[i]
+		if v := src.c[i]; v != 0 {
+			atomic.AddUint64(&c.c[i], v)
+		}
 	}
 	for i := range src.d {
 		sd := &src.d[i]
@@ -400,8 +434,9 @@ type Snapshot struct {
 }
 
 // Snapshot captures the collector's current state. Safe to call while
-// other goroutines Merge into c. Phases are sorted by name so concurrent
-// completion order cannot leak into the output.
+// other goroutines Merge or AtomicAdd into c — a live job's aggregate can
+// be observed mid-run. Phases are sorted by name so concurrent completion
+// order cannot leak into the output.
 func (c *Collector) Snapshot() Snapshot {
 	s := Snapshot{Counters: map[string]uint64{}}
 	if c == nil {
@@ -409,8 +444,8 @@ func (c *Collector) Snapshot() Snapshot {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for i, v := range c.c {
-		if v != 0 {
+	for i := range c.c {
+		if v := atomic.LoadUint64(&c.c[i]); v != 0 {
 			s.Counters[Counter(i).Name()] = v
 		}
 	}

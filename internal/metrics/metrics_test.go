@@ -247,3 +247,48 @@ func BenchmarkEnabledObserve(b *testing.B) {
 		c.Observe(DistMSHROccupancy, uint64(i&1023))
 	}
 }
+
+// TestLiveSnapshotRaceFree pins the aggregate-collector contract the job
+// server relies on: Snapshot and Count may run while other goroutines Merge
+// and AtomicAdd into the same collector. Run under -race, this fails if any
+// of those paths regress to unsynchronized counter access.
+func TestLiveSnapshotRaceFree(t *testing.T) {
+	agg := New()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				if i >= 100 { // minimum work even if the readers finish first
+					select {
+					case <-stop:
+						return
+					default:
+					}
+				}
+				agg.AtomicAdd(ExpCellsExecuted, 1)
+				src := New()
+				src.Add(SimCycles, uint64(w+i))
+				src.Observe(DistMSHROccupancy, uint64(i%7))
+				src.AddPhase("work", time.Microsecond)
+				agg.Merge(src)
+			}
+		}(w)
+	}
+	for i := 0; i < 200; i++ {
+		_ = agg.Snapshot()
+		_ = agg.Count(ExpCellsExecuted)
+	}
+	close(stop)
+	wg.Wait()
+	snap := agg.Snapshot()
+	if snap.Counters[ExpCellsExecuted.Name()] == 0 {
+		t.Error("AtomicAdd increments lost")
+	}
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,201 @@
+// Package client is the Go client for the tbpointd HTTP API. It exists so
+// the server tests, the serve CI stage and cmd/tbpointctl exercise the same
+// wire path an external caller would — no test-only backdoors into the
+// driver.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"tbpoint/internal/server"
+)
+
+// Client talks to one tbpointd instance.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the daemon at base (e.g. "http://127.0.0.1:8338").
+func New(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+}
+
+// do issues one request and decodes the JSON response into out (unless out
+// is nil). Non-2xx responses are decoded as {"error": ...}.
+func (c *Client) do(ctx context.Context, method, path string, body, out interface{}) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("%s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("%s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if raw, ok := out.(*[]byte); ok {
+		*raw = data
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Health probes GET /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Submit posts a job spec and returns the accepted job's status.
+func (c *Client) Submit(ctx context.Context, spec server.JobSpec) (server.JobStatus, error) {
+	var st server.JobStatus
+	err := c.do(ctx, http.MethodPost, "/jobs", spec, &st)
+	return st, err
+}
+
+// Status fetches one job's status.
+func (c *Client) Status(ctx context.Context, id string) (server.JobStatus, error) {
+	var st server.JobStatus
+	err := c.do(ctx, http.MethodGet, "/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Jobs lists every job the daemon knows about.
+func (c *Client) Jobs(ctx context.Context) ([]server.JobStatus, error) {
+	var jobs []server.JobStatus
+	err := c.do(ctx, http.MethodGet, "/jobs", nil, &jobs)
+	return jobs, err
+}
+
+// Cancel cancels a job.
+func (c *Client) Cancel(ctx context.Context, id string) (server.JobStatus, error) {
+	var st server.JobStatus
+	err := c.do(ctx, http.MethodPost, "/jobs/"+id+"/cancel", nil, &st)
+	return st, err
+}
+
+// Result downloads a done job's results.json bytes, exactly as the daemon
+// persisted them.
+func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
+	var data []byte
+	err := c.do(ctx, http.MethodGet, "/jobs/"+id+"/result", nil, &data)
+	return data, err
+}
+
+// Report fetches the job's captured report text.
+func (c *Client) Report(ctx context.Context, id string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/jobs/"+id+"/report", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET /jobs/%s/report: HTTP %d", id, resp.StatusCode)
+	}
+	return string(data), nil
+}
+
+// Metrics fetches the server-wide metrics snapshot as raw JSON.
+func (c *Client) Metrics(ctx context.Context) ([]byte, error) {
+	var data []byte
+	err := c.do(ctx, http.MethodGet, "/metrics", nil, &data)
+	return data, err
+}
+
+// Events streams the job's NDJSON status events, calling fn per status
+// until the stream ends (terminal state) or fn returns an error, which is
+// propagated.
+func (c *Client) Events(ctx context.Context, id string, fn func(server.JobStatus) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/jobs/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /jobs/%s/events: HTTP %d", id, resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var st server.JobStatus
+		if err := json.Unmarshal(line, &st); err != nil {
+			return fmt.Errorf("decoding event: %w", err)
+		}
+		if err := fn(st); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// Wait polls the job until it reaches a terminal state (or ctx dies) and
+// returns the final status. poll <= 0 selects 200ms.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (server.JobStatus, error) {
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package server
+
+import (
+	"context"
+	"time"
+
+	"tbpoint/internal/experiments"
+	"tbpoint/internal/metrics"
+)
+
+// dispatcherLoop is one dispatcher: it owns at most one simulator run at a
+// time, pulling queued jobs from the driver until shutdown. Several
+// dispatchers run concurrent jobs; their grid cells all share the
+// internal/par worker budget, so adding dispatchers trades per-job latency
+// for queue throughput without oversubscribing the machine.
+func (d *Driver) dispatcherLoop(i int) {
+	defer d.wg.Done()
+	for {
+		j := d.nextJob()
+		if j == nil {
+			return
+		}
+		d.logf("dispatcher %d picked up job %s", i, j.rec.ID)
+		d.runJob(j)
+	}
+}
+
+// nextJob blocks until a queued job is available (skipping jobs cancelled
+// while queued) or the driver closes, in which case it returns nil.
+func (d *Driver) nextJob() *Job {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		if d.closed {
+			return nil
+		}
+		if !d.cfg.Paused && len(d.queue) > 0 {
+			id := d.queue[0]
+			d.queue = d.queue[1:]
+			j := d.jobs[id]
+			if j == nil || j.rec.State != StateQueued {
+				continue // cancelled while queued
+			}
+			return j
+		}
+		d.cond.Wait()
+	}
+}
+
+// runJob executes one job through the shared experiments engine. The
+// dispatcher's contract:
+//
+//   - the run's context is a child of the driver's, with the job deadline
+//     layered on, so both Cancel and Close abort it at the next cell
+//     boundary;
+//   - the artifact cache is attached as the run's checkpoint store with
+//     Resume on (unless the spec opts out), so cells another job already
+//     computed are resumed, not re-simulated;
+//   - the job runs under its own collector — never the server's — so the
+//     results bundle stays byte-identical to the one-shot CLI (which also
+//     runs one collector per process), and live status snapshots observe
+//     only this job's phases;
+//   - a job aborted because the daemon is shutting down is re-queued in the
+//     journal, not failed: the next process picks it up.
+func (d *Driver) runJob(j *Job) {
+	spec := j.rec.Spec
+	ctx, cancel := context.WithCancel(d.ctx)
+	if spec.Deadline > 0 {
+		ctx, cancel = context.WithTimeout(d.ctx, time.Duration(spec.Deadline))
+	}
+	defer cancel()
+	jmc := metrics.New()
+	report := &syncBuffer{}
+
+	d.mu.Lock()
+	if j.rec.State != StateQueued { // raced with Cancel
+		d.mu.Unlock()
+		return
+	}
+	j.rec.State = StateRunning
+	j.rec.StartedAt = time.Now().UTC()
+	j.cancel = cancel
+	j.mc = jmc
+	j.report = report
+	j.started = time.Now()
+	if err := d.persistLocked(j); err != nil {
+		d.logf("journaling %s -> running failed: %v", j.rec.ID, err)
+	}
+	d.mu.Unlock()
+
+	opts := spec.options()
+	opts.Ctx = ctx
+	opts.Metrics = jmc
+	opts.Checkpoint = d.cache
+	opts.Resume = !spec.NoCache
+	opts.Verbose = true
+	opts.Out = report
+
+	start := time.Now()
+	bundle, runErr := experiments.RunTargets(opts, spec.runSpec(), report)
+	wall := time.Since(start)
+
+	// Cache accounting: cells satisfied from the shared artifact cache vs
+	// computed (and published) fresh. Feed the per-job numbers into the
+	// server-wide counters the /metrics endpoint exposes.
+	hits := jmc.Count(metrics.ExpCellsResumed)
+	misses := jmc.Count(metrics.ExpCellsExecuted)
+	d.mc.AtomicAdd(metrics.ServerCacheHits, hits)
+	d.mc.AtomicAdd(metrics.ServerCacheMisses, misses)
+
+	// Persist the results bundle before the state flips to done: a client
+	// that observes "done" must be able to fetch the result. The bundle is
+	// written exactly as cmd/experiments -json writes it (same envelope, no
+	// server-side additions) — that is the byte-identity contract.
+	var persistErr error
+	if runErr == nil && !bundle.Aborted {
+		persistErr = experiments.WriteResultsFile(d.resultPath(j.rec.ID), bundle)
+	}
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	j.cancel = nil
+	j.rec.WallSeconds = wall.Seconds()
+	j.rec.CacheHits = hits
+	j.rec.CacheMisses = misses
+	j.rec.CellsFailed = jmc.Count(metrics.ExpCellsFailed)
+	j.rec.Aborted = bundle.Aborted
+	switch {
+	case runErr != nil:
+		d.finishLocked(j, StateFailed, runErr.Error())
+	case bundle.Aborted && j.userCancel:
+		d.finishLocked(j, StateCancelled, "cancelled")
+	case bundle.Aborted && d.closed:
+		// Daemon shutdown, not a verdict on the job: back to the queue for
+		// the next process. Cells completed before the abort are in the
+		// artifact cache, so the re-run resumes instead of recomputing.
+		j.rec.State = StateQueued
+		j.rec.StartedAt = time.Time{}
+		j.rec.Aborted = false
+		if err := d.persistLocked(j); err != nil {
+			d.logf("journaling %s requeue failed: %v", j.rec.ID, err)
+		}
+		d.logf("job %s requeued for next process (shutdown)", j.rec.ID)
+	case bundle.Aborted && ctx.Err() == context.DeadlineExceeded:
+		d.finishLocked(j, StateFailed, "job deadline exceeded")
+	case bundle.Aborted:
+		d.finishLocked(j, StateFailed, "run aborted")
+	case persistErr != nil:
+		d.finishLocked(j, StateFailed, "persisting results: "+persistErr.Error())
+	default:
+		d.finishLocked(j, StateDone, "")
+	}
+}

@@ -1,0 +1,422 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"tbpoint/internal/durable"
+	"tbpoint/internal/metrics"
+)
+
+// ErrNotFound reports an unknown job ID.
+var ErrNotFound = errors.New("server: no such job")
+
+// ErrShutdown reports an operation on a closed driver.
+var ErrShutdown = errors.New("server: driver is shut down")
+
+// jobKeyPrefix namespaces job records inside the journal store.
+const jobKeyPrefix = "job/"
+
+// Config configures a Driver.
+type Config struct {
+	// StateDir holds the server's durable state: the job journal
+	// (StateDir/jobs), the artifact cache (StateDir/cache) and completed
+	// results bundles (StateDir/results). Required.
+	StateDir string
+	// Dispatchers is the number of dispatcher goroutines — the maximum
+	// number of jobs running concurrently (0 selects 2). Each running job's
+	// grid cells additionally fan out over the shared internal/par budget.
+	Dispatchers int
+	// Paused makes the driver accept and journal jobs without dispatching
+	// any; a later restart without Paused drains the queue. (Operationally:
+	// drain-and-upgrade. In CI: the deterministic queue-restart case.)
+	Paused bool
+	// Metrics receives the server-wide counters (server.jobs_*,
+	// server.cache_hits/misses). Nil disables them.
+	Metrics *metrics.Collector
+	// Logf receives operational log lines (nil discards them).
+	Logf func(format string, args ...interface{})
+}
+
+// Job is the driver's in-memory view of one job: the journaled record plus
+// live-only state (the collector, the cancel func, the report buffer).
+type Job struct {
+	rec        jobRecord
+	mc         *metrics.Collector
+	cancel     context.CancelFunc
+	userCancel bool
+	started    time.Time
+	report     *syncBuffer
+	done       chan struct{} // closed when the job reaches a terminal state
+}
+
+// Driver owns job lifecycle: submission, validation, the FIFO queue,
+// per-job deadlines and cancellation, durable journaling, and restart
+// recovery. Execution itself belongs to the dispatchers (dispatcher.go).
+type Driver struct {
+	cfg        Config
+	mc         *metrics.Collector
+	journal    *durable.Store // job records
+	cache      *durable.Store // artifact cache shared by all jobs
+	resultsDir string
+
+	ctx    context.Context // dies at Close; parent of every job context
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	cond   *sync.Cond // wakes idle dispatchers on submit/close
+	jobs   map[string]*Job
+	order  []string // all known job IDs, submission order
+	queue  []string // queued job IDs, FIFO
+	nextID int
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Open loads (or creates) the server state under cfg.StateDir, re-queues
+// every job the previous process left unfinished, and starts the
+// dispatchers. The restart contract: a job observed as queued or running by
+// a killed daemon is queued again — completed grid cells live in the
+// artifact cache, so a re-run job resumes rather than re-simulates.
+func Open(cfg Config) (*Driver, error) {
+	if cfg.StateDir == "" {
+		return nil, errors.New("server: Config.StateDir is required")
+	}
+	journal, err := durable.Open(filepath.Join(cfg.StateDir, "jobs"))
+	if err != nil {
+		return nil, fmt.Errorf("server: opening job journal: %w", err)
+	}
+	cache, err := durable.Open(filepath.Join(cfg.StateDir, "cache"))
+	if err != nil {
+		return nil, fmt.Errorf("server: opening artifact cache: %w", err)
+	}
+	resultsDir := filepath.Join(cfg.StateDir, "results")
+	if err := os.MkdirAll(resultsDir, 0o755); err != nil {
+		return nil, err
+	}
+	d := &Driver{
+		cfg:        cfg,
+		mc:         cfg.Metrics,
+		journal:    journal,
+		cache:      cache,
+		resultsDir: resultsDir,
+		jobs:       map[string]*Job{},
+	}
+	d.cond = sync.NewCond(&d.mu)
+	d.ctx, d.cancel = context.WithCancel(context.Background())
+	if q := journal.Quarantined() + cache.Quarantined(); q > 0 {
+		d.logf("quarantined %d corrupted state file(s) in %s", q, cfg.StateDir)
+	}
+
+	// Reload the journal. Keys() is sorted and IDs are zero-padded, so
+	// recovery order is submission order.
+	for _, key := range journal.Keys() {
+		id, ok := strings.CutPrefix(key, jobKeyPrefix)
+		if !ok {
+			continue
+		}
+		data, _ := journal.Get(key)
+		var rec jobRecord
+		if json.Unmarshal(data, &rec) != nil || rec.ID != id {
+			d.logf("ignoring malformed job record %q", key)
+			continue
+		}
+		job := &Job{rec: rec, done: make(chan struct{})}
+		if rec.State.Terminal() {
+			close(job.done)
+		}
+		d.jobs[id] = job
+		d.order = append(d.order, id)
+		var n int
+		if _, err := fmt.Sscanf(id, "j%d", &n); err == nil && n > d.nextID {
+			d.nextID = n
+		}
+	}
+	for _, id := range d.order {
+		j := d.jobs[id]
+		if j.rec.State.Terminal() {
+			continue
+		}
+		j.rec.State = StateQueued
+		j.rec.Requeues++
+		j.rec.StartedAt = time.Time{}
+		if err := d.persistLocked(j); err != nil {
+			return nil, err
+		}
+		d.queue = append(d.queue, id)
+		d.mc.AtomicAdd(metrics.ServerJobsRequeued, 1)
+		d.logf("requeued job %s (restart %d)", id, j.rec.Requeues)
+	}
+
+	n := cfg.Dispatchers
+	if n <= 0 {
+		n = 2
+	}
+	for i := 0; i < n; i++ {
+		d.wg.Add(1)
+		go d.dispatcherLoop(i)
+	}
+	return d, nil
+}
+
+func (d *Driver) logf(format string, args ...interface{}) {
+	if d.cfg.Logf != nil {
+		d.cfg.Logf(format, args...)
+	}
+}
+
+// persistLocked journals the job's current record. Callers hold d.mu.
+func (d *Driver) persistLocked(j *Job) error {
+	data, err := json.Marshal(j.rec)
+	if err != nil {
+		return err
+	}
+	return d.journal.Put(jobKeyPrefix+j.rec.ID, data)
+}
+
+// Submit validates, journals and enqueues a job. A journal that cannot be
+// written fails the submission — accepting a job the server could lose on
+// restart would break the durability contract.
+func (d *Driver) Submit(spec JobSpec) (JobStatus, error) {
+	if err := spec.Validate(); err != nil {
+		return JobStatus{}, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return JobStatus{}, ErrShutdown
+	}
+	d.nextID++
+	id := fmt.Sprintf("j%06d", d.nextID)
+	job := &Job{
+		rec: jobRecord{
+			ID:          id,
+			Spec:        spec,
+			State:       StateQueued,
+			SubmittedAt: time.Now().UTC(),
+		},
+		done: make(chan struct{}),
+	}
+	if err := d.persistLocked(job); err != nil {
+		d.nextID--
+		return JobStatus{}, fmt.Errorf("server: journaling job: %w", err)
+	}
+	d.jobs[id] = job
+	d.order = append(d.order, id)
+	d.queue = append(d.queue, id)
+	d.mc.AtomicAdd(metrics.ServerJobsSubmitted, 1)
+	d.logf("job %s submitted: targets=%v scale=%g seed=%d bench=%v",
+		id, spec.Targets, spec.Scale, spec.Seed, spec.Benchmarks)
+	d.cond.Broadcast()
+	return job.rec.status(), nil
+}
+
+// Cancel cancels a job: a queued job terminates immediately, a running job
+// has its context cancelled and terminates when in-flight cells reach their
+// next boundary. Cancelling a terminal job is a no-op (its status is
+// returned unchanged).
+func (d *Driver) Cancel(id string) (JobStatus, error) {
+	d.mu.Lock()
+	j, ok := d.jobs[id]
+	if !ok {
+		d.mu.Unlock()
+		return JobStatus{}, ErrNotFound
+	}
+	switch j.rec.State {
+	case StateQueued:
+		j.userCancel = true
+		d.finishLocked(j, StateCancelled, "cancelled while queued")
+		st := d.statusLocked(j)
+		d.mu.Unlock()
+		return st, nil
+	case StateRunning:
+		j.userCancel = true
+		cancel := j.cancel
+		st := d.statusLocked(j)
+		d.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return st, nil
+	default:
+		st := d.statusLocked(j)
+		d.mu.Unlock()
+		return st, nil
+	}
+}
+
+// finishLocked moves a job to a terminal state: journal, wake waiters,
+// bump the server counters. Callers hold d.mu.
+func (d *Driver) finishLocked(j *Job, state JobState, errText string) {
+	j.rec.State = state
+	j.rec.FinishedAt = time.Now().UTC()
+	if errText != "" {
+		j.rec.Error = errText
+	}
+	if err := d.persistLocked(j); err != nil {
+		// The run is already finished; losing the journal write degrades
+		// restart recovery (the job re-runs from the artifact cache), which
+		// beats failing a completed job.
+		d.logf("journaling %s -> %s failed: %v", j.rec.ID, state, err)
+	}
+	switch state {
+	case StateDone:
+		d.mc.AtomicAdd(metrics.ServerJobsDone, 1)
+	case StateFailed:
+		d.mc.AtomicAdd(metrics.ServerJobsFailed, 1)
+	case StateCancelled:
+		d.mc.AtomicAdd(metrics.ServerJobsCancelled, 1)
+	}
+	d.logf("job %s %s%s", j.rec.ID, state, map[bool]string{true: ": " + errText}[errText != ""])
+	close(j.done)
+}
+
+// statusLocked builds the wire status, attaching live progress for running
+// jobs (wall clock, per-phase snapshot, cache counters so far). Callers
+// hold d.mu.
+func (d *Driver) statusLocked(j *Job) JobStatus {
+	st := j.rec.status()
+	if j.mc != nil {
+		if j.rec.State == StateRunning {
+			st.WallSeconds = time.Since(j.started).Seconds()
+			st.CacheHits = j.mc.Count(metrics.ExpCellsResumed)
+			st.CacheMisses = j.mc.Count(metrics.ExpCellsExecuted)
+			st.CellsFailed = j.mc.Count(metrics.ExpCellsFailed)
+		}
+		st.Phases = j.mc.Snapshot().Phases
+	}
+	return st
+}
+
+// Status returns one job's status.
+func (d *Driver) Status(id string) (JobStatus, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	j, ok := d.jobs[id]
+	if !ok {
+		return JobStatus{}, ErrNotFound
+	}
+	return d.statusLocked(j), nil
+}
+
+// Jobs lists every known job in submission order (history survives
+// restarts — the driver remembers past work).
+func (d *Driver) Jobs() []JobStatus {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]JobStatus, 0, len(d.order))
+	for _, id := range d.order {
+		out = append(out, d.statusLocked(d.jobs[id]))
+	}
+	return out
+}
+
+// Done exposes the job's completion channel (closed at terminal state) for
+// event streaming.
+func (d *Driver) Done(id string) (<-chan struct{}, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	j, ok := d.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return j.done, nil
+}
+
+// resultPath is where a completed job's results bundle lives.
+func (d *Driver) resultPath(id string) string {
+	return filepath.Join(d.resultsDir, id+".json")
+}
+
+// Result returns the raw enveloped results.json bytes of a done job —
+// byte-identical to what `experiments -json` writes for the same spec.
+func (d *Driver) Result(id string) ([]byte, error) {
+	d.mu.Lock()
+	j, ok := d.jobs[id]
+	if !ok {
+		d.mu.Unlock()
+		return nil, ErrNotFound
+	}
+	state := j.rec.State
+	d.mu.Unlock()
+	if state != StateDone {
+		return nil, fmt.Errorf("server: job %s is %s, results exist only for %s jobs", id, state, StateDone)
+	}
+	return os.ReadFile(d.resultPath(id))
+}
+
+// Report returns the job's captured report/progress text (empty for jobs
+// run by an earlier process).
+func (d *Driver) Report(id string) (string, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	j, ok := d.jobs[id]
+	if !ok {
+		return "", ErrNotFound
+	}
+	if j.report == nil {
+		return "", nil
+	}
+	return j.report.String(), nil
+}
+
+// Metrics snapshots the server-wide collector.
+func (d *Driver) Metrics() metrics.Snapshot {
+	return d.mc.Snapshot()
+}
+
+// CacheLen reports how many artifact-cache cells are loaded.
+func (d *Driver) CacheLen() int { return d.cache.Len() }
+
+// Close shuts the driver down: running jobs are aborted and re-queued in
+// the journal (the restart contract treats a graceful stop like a crash —
+// unfinished work is never dropped), dispatchers drain, and the journal is
+// left consistent. Close blocks until every dispatcher has exited.
+func (d *Driver) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		d.wg.Wait()
+		return nil
+	}
+	d.closed = true
+	d.mu.Unlock()
+	d.cancel()
+	d.cond.Broadcast()
+	d.wg.Wait()
+	return nil
+}
+
+// syncBuffer is a concurrency-safe, bounded report buffer: grid cells
+// print progress from worker goroutines, and the HTTP layer reads while a
+// job runs.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+// reportLimit bounds a job's captured report text.
+const reportLimit = 1 << 20
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.buf.Len() < reportLimit {
+		b.buf.Write(p)
+	}
+	return len(p), nil
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

@@ -1,0 +1,248 @@
+// Package server is TBPoint's simulation-as-a-service layer: a job server
+// that accepts experiment-grid jobs over HTTP, queues them, runs them on
+// the shared worker budget, caches shareable artifacts across jobs, and
+// survives restarts.
+//
+// The decomposition follows the driver/dispatcher split of production GPU
+// simulators (mgpusim's client → driver → command processor → dispatcher
+// chain): the Driver owns job lifecycle — submission, the queue, per-job
+// deadlines, cancellation, durable state, and the memory of past work —
+// while Dispatchers own simulator execution: each dispatcher goroutine
+// takes one job at a time and runs it through the shared
+// experiments.RunTargets engine, whose grid cells fan out over the
+// internal/par worker budget.
+//
+// Two durable stores (internal/durable) back the server:
+//
+//   - the job journal records every job's spec and state transition, so a
+//     killed daemon re-queues its unfinished jobs on restart;
+//   - the artifact cache journals every completed grid cell under the same
+//     result-determining key hash the -checkpoint-dir CLI flow uses, so a
+//     second job requesting an overlapping grid resumes those cells
+//     byte-identically instead of re-simulating them.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"tbpoint/internal/experiments"
+	"tbpoint/internal/metrics"
+)
+
+// Duration is a time.Duration that marshals as a Go duration string
+// ("90s", "1h30m") and unmarshals from either a string or integer
+// nanoseconds — so job specs stay curl-friendly.
+type Duration time.Duration
+
+// MarshalJSON renders the duration as a string.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts "30s"-style strings or integer nanoseconds.
+func (d *Duration) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		dur, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("server: bad duration %q: %v", s, err)
+		}
+		*d = Duration(dur)
+		return nil
+	}
+	var ns int64
+	if err := json.Unmarshal(data, &ns); err != nil {
+		return fmt.Errorf("server: duration must be a string like \"30s\" or integer nanoseconds")
+	}
+	*d = Duration(ns)
+	return nil
+}
+
+// JobSpec is a submitted job: which targets to run and under which options.
+// The fields mirror the cmd/experiments flags — a job with the same spec as
+// a one-shot CLI invocation produces a byte-identical results bundle.
+type JobSpec struct {
+	// Targets names the experiment targets (accuracy, sensitivity, fig9,
+	// agreement, all, ...); validated at submission via
+	// experiments.ExpandTargets.
+	Targets []string `json:"targets"`
+	// Scale is the workload scale factor (0 selects 1.0, the CLI default).
+	Scale float64 `json:"scale,omitempty"`
+	// Seed perturbs workload construction and the Random baseline.
+	Seed uint64 `json:"seed,omitempty"`
+	// Benchmarks restricts the run to the named benchmarks (nil = all 12).
+	Benchmarks []string `json:"benchmarks,omitempty"`
+	// Samples is the fig5 Monte-Carlo sample count (0 = 10000).
+	Samples int `json:"samples,omitempty"`
+	// ParallelSM selects the simulator event loop per job: 0/1 = the serial
+	// bit-identical reference, N>1 = the epoch-parallel loop with N workers.
+	// The mode is recorded in the results bundle, as with -parallel-sm.
+	ParallelSM int `json:"parallel_sm,omitempty"`
+	// Quantum is the epoch length in cycles for ParallelSM > 1 (0 = gpusim
+	// default).
+	Quantum int64 `json:"quantum,omitempty"`
+	// MaxDivergence is the agreement-target gate (0 = the 0.05 default).
+	MaxDivergence float64 `json:"max_divergence,omitempty"`
+	// Retries is the attempts per grid cell before its failure is recorded
+	// (0 selects 1, the CLI default).
+	Retries int `json:"retries,omitempty"`
+	// CellDeadline bounds each grid cell's wall time (0 = no limit).
+	CellDeadline Duration `json:"cell_deadline,omitempty"`
+	// Deadline bounds the whole job's wall time, mapped onto the run's
+	// context: a blown deadline aborts in-flight cells at their next
+	// boundary and fails the job (0 = no limit).
+	Deadline Duration `json:"deadline,omitempty"`
+	// NoCache makes the job compute every cell fresh instead of resuming
+	// from the artifact cache. Completed cells are still published to the
+	// cache for later jobs.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// Validate normalizes defaults in place and rejects specs that could never
+// run. It is called at submission so a bad job fails the HTTP request, not
+// the dispatcher.
+func (s *JobSpec) Validate() error {
+	if _, err := experiments.ExpandTargets(s.Targets); err != nil {
+		return err
+	}
+	if s.Scale < 0 {
+		return fmt.Errorf("server: negative scale %g", s.Scale)
+	}
+	if s.Scale == 0 {
+		s.Scale = 1.0
+	}
+	if s.ParallelSM < 0 || s.ParallelSM == 1 {
+		// 1 is ambiguous ("one worker" is the serial loop); insist on the
+		// same vocabulary as -parallel-sm: 0 = serial, >= 2 = parallel.
+		return fmt.Errorf("server: parallel_sm must be 0 (serial) or >= 2, got %d", s.ParallelSM)
+	}
+	if s.Retries < 0 {
+		return fmt.Errorf("server: negative retries %d", s.Retries)
+	}
+	if s.Retries == 0 {
+		s.Retries = 1
+	}
+	if s.Deadline < 0 || s.CellDeadline < 0 {
+		return fmt.Errorf("server: negative deadline")
+	}
+	return nil
+}
+
+// options builds the experiments.Options a dispatcher runs this spec under.
+// Everything here must match what cmd/experiments derives from the
+// equivalent flags — that is the byte-identity contract.
+func (s JobSpec) options() experiments.Options {
+	opts := experiments.DefaultOptions(s.Scale)
+	opts.Seed = s.Seed
+	opts.Benchmarks = s.Benchmarks
+	opts.SimWorkers = s.ParallelSM
+	opts.SimQuantum = s.Quantum
+	opts.Retry = experiments.RetryPolicy{Attempts: s.Retries, Seed: s.Seed}
+	opts.CellDeadline = time.Duration(s.CellDeadline)
+	return opts
+}
+
+// runSpec is the RunTargets half of the spec.
+func (s JobSpec) runSpec() experiments.RunSpec {
+	return experiments.RunSpec{
+		Targets:       s.Targets,
+		Samples:       s.Samples,
+		MaxDivergence: s.MaxDivergence,
+	}
+}
+
+// JobState is a job's lifecycle state.
+type JobState string
+
+// The lifecycle: Submit puts a job in StateQueued; a dispatcher moves it to
+// StateRunning; it terminates in StateDone, StateFailed or StateCancelled.
+// A daemon restart moves queued and running jobs back to StateQueued.
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// JobStatus is the wire representation of one job, returned by the status
+// and list endpoints and streamed by the events endpoint.
+type JobStatus struct {
+	ID          string     `json:"id"`
+	State       JobState   `json:"state"`
+	Spec        JobSpec    `json:"spec"`
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+	// Error is the failure reason for StateFailed (and the cancellation
+	// cause for StateCancelled, when one was recorded).
+	Error string `json:"error,omitempty"`
+	// Requeues counts daemon restarts this job survived before running.
+	Requeues int `json:"requeues,omitempty"`
+	// CacheHits / CacheMisses count grid cells satisfied from vs published
+	// into the shared artifact cache (exp.cells_resumed / exp.cells_executed
+	// of the job's collector).
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	// CellsFailed counts cells that degraded to CellError entries.
+	CellsFailed uint64 `json:"cells_failed,omitempty"`
+	// Aborted mirrors the results bundle's aborted flag.
+	Aborted bool `json:"aborted,omitempty"`
+	// WallSeconds is the job's execution wall time (live while running).
+	WallSeconds float64 `json:"wall_seconds,omitempty"`
+	// Phases is the live per-phase progress snapshot while the job runs
+	// (target.*, core.*, experiments.* wall times), and the final phase
+	// breakdown once it is terminal.
+	Phases []metrics.PhaseSnapshot `json:"phases,omitempty"`
+}
+
+// jobRecord is the journaled form of a job: everything that must survive a
+// daemon restart. Live-only data (the collector, the cancel func) stays on
+// the in-memory Job.
+type jobRecord struct {
+	ID          string    `json:"id"`
+	Spec        JobSpec   `json:"spec"`
+	State       JobState  `json:"state"`
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at,omitzero"`
+	FinishedAt  time.Time `json:"finished_at,omitzero"`
+	Error       string    `json:"error,omitempty"`
+	Requeues    int       `json:"requeues,omitempty"`
+	CacheHits   uint64    `json:"cache_hits,omitempty"`
+	CacheMisses uint64    `json:"cache_misses,omitempty"`
+	CellsFailed uint64    `json:"cells_failed,omitempty"`
+	Aborted     bool      `json:"aborted,omitempty"`
+	WallSeconds float64   `json:"wall_seconds,omitempty"`
+}
+
+func (r jobRecord) status() JobStatus {
+	st := JobStatus{
+		ID:          r.ID,
+		State:       r.State,
+		Spec:        r.Spec,
+		SubmittedAt: r.SubmittedAt,
+		Error:       r.Error,
+		Requeues:    r.Requeues,
+		CacheHits:   r.CacheHits,
+		CacheMisses: r.CacheMisses,
+		CellsFailed: r.CellsFailed,
+		Aborted:     r.Aborted,
+		WallSeconds: r.WallSeconds,
+	}
+	if !r.StartedAt.IsZero() {
+		t := r.StartedAt
+		st.StartedAt = &t
+	}
+	if !r.FinishedAt.IsZero() {
+		t := r.FinishedAt
+		st.FinishedAt = &t
+	}
+	return st
+}

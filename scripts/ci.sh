@@ -7,13 +7,16 @@
 #   test    the full unit/integration suite
 #   race    race-detector pass over the packages that run simulations
 #           concurrently (the shared worker budget fans launches and
-#           benchmark cells out over goroutines; see DESIGN.md)
+#           benchmark cells out over goroutines; see DESIGN.md) plus the
+#           job server and the live-snapshot metrics paths
 #   chaos   the cancellation/fault-injection suite (internal/faultcheck
 #           driven): mid-run cancellation, per-cell panic isolation,
 #           retry/resume/corruption handling across par, gpusim, core,
 #           durable, experiments — plus a kill-and-resume case that
 #           crashes a real experiments process at a checkpoint write and
-#           proves the resumed results.json is byte-identical
+#           proves the resumed results.json is byte-identical, and an
+#           abort-flush case proving a fatally failed run still writes
+#           both its results and metrics JSON
 #   fuzz    10s fuzz smoke over each existing fuzz target
 #   golden  cmd/goldencheck re-runs the five determinism benchmarks and
 #           diffs the full metrics counter set against testdata goldens
@@ -22,21 +25,30 @@
 #           invariance, chaos cancellation), then a serial-vs-parallel
 #           agreement run via cmd/experiments that fails on any
 #           instruction-count mismatch or cycle divergence > 5%
+#   serve   the tbpointd job server end to end, race-instrumented: boot on
+#           an ephemeral port, submit a grid over HTTP, download the
+#           results.json and cmp it against the one-shot cmd/experiments
+#           output; kill -9 the daemon with a queued job and prove the
+#           restart runs it; overlap a second job and prove the artifact
+#           cache serves it (nonzero cache_hits, lower wall time)
 #   bench   cmd/benchgate re-measures throughput against BENCH_gpusim.json
 #           (advisory by default; BENCH_HARD=1 makes drops fail; per-case
 #           thresholds come from the report's gate_thresholds section)
 #
-# Usage: scripts/ci.sh [fast]
-#   fast         skip the fuzz and bench stages (quick pre-commit loop)
-#   SKIP_FUZZ=1  skip only the fuzz stage
-#   BENCH_HARD=1 make the bench stage fail (instead of warn) on >20% drops
+# Usage: scripts/ci.sh [fast | stage...]
+#   (no args)       run every stage
+#   fast            skip the fuzz and bench stages (quick pre-commit loop)
+#   stage...        run exactly the named stages, in the order given
+#                   (e.g. `scripts/ci.sh race parsm serve`); unknown
+#                   stage names fail before anything runs
+#   SKIP_FUZZ=1     skip only the fuzz stage (full/fast runs)
+#   BENCH_HARD=1    make the bench stage fail (instead of warn) on >20% drops
+#   CI_ARTIFACT_DIR copy key outputs (results/metrics JSON, daemon logs)
+#                   here so the workflow can upload them on failure
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-FAST=0
-if [[ "${1:-}" == "fast" ]]; then
-  FAST=1
-fi
+ALL_STAGES=(fmt vet build test race chaos fuzz golden parsm serve bench)
 
 stage() {
   local name="$1"
@@ -48,6 +60,15 @@ stage() {
   else
     echo "== ${name} FAILED ($((SECONDS - start))s)" >&2
     return 1
+  fi
+}
+
+# artifact FILE [NAME] — stash a file for the CI workflow to upload. No-op
+# outside CI (CI_ARTIFACT_DIR unset); never fails the calling stage.
+artifact() {
+  if [[ -n "${CI_ARTIFACT_DIR:-}" && -e "$1" ]]; then
+    mkdir -p "$CI_ARTIFACT_DIR"
+    cp "$1" "$CI_ARTIFACT_DIR/${2:-$(basename "$1")}" 2>/dev/null || true
   fi
 }
 
@@ -73,10 +94,12 @@ run_fuzz() {
 run_chaos() {
   # -count=1 defeats the test cache: chaos tests exercise timing-dependent
   # cancellation paths and should actually run on every CI invocation.
-  go test -count=1 -run 'Chaos|Cancel|Abort|Panic|Retry|Resume|Corrupt|Quarantine|Truncat|Crash' \
+  go test -count=1 -run 'Chaos|Cancel|Abort|Panic|Retry|Resume|Corrupt|Quarantine|Truncat|Crash|Concurrent|Deadline' \
     ./internal/faultcheck/ ./internal/par/ ./internal/gpusim/ \
-    ./internal/core/ ./internal/experiments/ ./internal/durable/
+    ./internal/core/ ./internal/experiments/ ./internal/durable/ \
+    ./internal/server/
   run_crash_recovery
+  run_abort_flush
 }
 
 run_crash_recovery() {
@@ -115,6 +138,7 @@ run_crash_recovery() {
 
   "$bin" "${args[@]}" -checkpoint-dir "$tmp/ckpt" -resume \
     -metrics-json "$tmp/metrics.json" accuracy >/dev/null
+  artifact "$tmp/metrics.json" crash_recovery_metrics.json
   grep -q '"exp.cells_resumed": 1' "$tmp/metrics.json" || {
     echo "crash-recovery: resumed run did not report exactly 1 resumed cell" >&2
     grep '"exp\.' "$tmp/metrics.json" >&2 || true
@@ -140,6 +164,42 @@ run_crash_recovery() {
   )
 }
 
+run_abort_flush() {
+  # A run stopped by a fatal target error (here: the agreement gate, made
+  # to always fire with -max-divergence -1) must still flush BOTH its
+  # partial results.json and its metrics JSON before reporting failure —
+  # the observability files are how an aborted run is diagnosed.
+  (
+  local tmp bin
+  tmp=$(mktemp -d)
+  trap 'rm -rf "$tmp"' EXIT
+  bin="$tmp/experiments"
+  go build -o "$bin" ./cmd/experiments
+  if "$bin" -par 1 -scale 0.02 -seed 7 -bench stream -parallel-sm 2 \
+      -max-divergence -1 -json "$tmp/aborted.json" \
+      -metrics-json "$tmp/aborted_metrics.json" agreement \
+      >/dev/null 2>"$tmp/abort.log"; then
+    echo "abort-flush: the always-fire agreement gate did not fail the run" >&2
+    return 1
+  fi
+  artifact "$tmp/aborted.json"
+  artifact "$tmp/aborted_metrics.json"
+  [[ -s "$tmp/aborted.json" ]] || {
+    echo "abort-flush: fatally failed run wrote no results.json" >&2
+    cat "$tmp/abort.log" >&2
+    return 1
+  }
+  [[ -s "$tmp/aborted_metrics.json" ]] || {
+    echo "abort-flush: fatally failed run wrote no metrics JSON" >&2
+    return 1
+  }
+  grep -q '"parallel_agreement"' "$tmp/aborted.json" || {
+    echo "abort-flush: flushed results.json lost the recorded agreement rows" >&2
+    return 1
+  }
+  )
+}
+
 run_parsm() {
   # The parallel event loop's own gates: the race detector over its test
   # suite (epoch barriers, pool shutdown, mid-epoch cancellation), then an
@@ -151,6 +211,137 @@ run_parsm() {
     -parallel-sm 8 -max-divergence 0.05 agreement >/dev/null
 }
 
+# wait_file FILE — poll until FILE is non-empty (daemon address files).
+wait_file() {
+  local i
+  for i in $(seq 100); do
+    [[ -s "$1" ]] && return 0
+    sleep 0.1
+  done
+  echo "timed out waiting for $1" >&2
+  return 1
+}
+
+# field LINE KEY — pull key=value out of a tbpointctl status line.
+field() {
+  sed -n "s/.*${2}=\([^ ]*\).*/\1/p" <<<"$1"
+}
+
+run_serve() {
+  # The job server end to end, over real HTTP and real process death. The
+  # daemon is built -race so the whole driver/dispatcher path runs under
+  # the race detector while serving.
+  (
+  local tmp
+  tmp=$(mktemp -d)
+  # The pid-file glob may match nothing (clean shutdown removes them), so
+  # every cleanup step is failure-proof: a failing command in an EXIT trap
+  # would otherwise override the stage's real exit status under set -e.
+  # shellcheck disable=SC2064
+  trap "{ cat '$tmp'/*.pid 2>/dev/null | xargs -r kill 2>/dev/null; } || true; rm -rf '$tmp'" EXIT
+  go build -race -o "$tmp/tbpointd" ./cmd/tbpointd
+  go build -o "$tmp/tbpointctl" ./cmd/tbpointctl
+  go build -o "$tmp/experiments" ./cmd/experiments
+  local args=(-scale 0.02 -seed 7 -bench stream,black,hotspot)
+
+  "$tmp/experiments" -par 1 "${args[@]}" -json "$tmp/oneshot.json" accuracy >/dev/null
+
+  # Phase 1 — durability: a paused daemon journals the job without running
+  # it, dies hard (kill -9, no shutdown path), and the restarted daemon
+  # must run the job it never saw submitted.
+  "$tmp/tbpointd" -addr 127.0.0.1:0 -addr-file "$tmp/addr1" \
+    -state-dir "$tmp/state" -paused -v >"$tmp/daemon1.log" 2>&1 &
+  echo $! >"$tmp/d1.pid"
+  disown # keep bash from reporting the later kill -9
+  wait_file "$tmp/addr1"
+  export TBPOINTD_ADDR="http://$(cat "$tmp/addr1")"
+  local job line
+  job=$("$tmp/tbpointctl" submit "${args[@]}" accuracy)
+  line=$("$tmp/tbpointctl" status "$job")
+  [[ "$(field "$line" state)" == "queued" ]] || {
+    echo "serve: paused daemon ran the job anyway: $line" >&2
+    return 1
+  }
+  kill -9 "$(cat "$tmp/d1.pid")"
+  rm -f "$tmp/d1.pid"
+
+  "$tmp/tbpointd" -addr 127.0.0.1:0 -addr-file "$tmp/addr2" \
+    -state-dir "$tmp/state" -v >"$tmp/daemon2.log" 2>&1 &
+  echo $! >"$tmp/d2.pid"
+  disown
+  wait_file "$tmp/addr2"
+  export TBPOINTD_ADDR="http://$(cat "$tmp/addr2")"
+  line=$("$tmp/tbpointctl" wait "$job")
+  artifact "$tmp/daemon1.log"
+  artifact "$tmp/daemon2.log"
+  [[ "$(field "$line" state)" == "done" && "$(field "$line" requeues)" == "1" ]] || {
+    echo "serve: job did not survive the kill -9 restart: $line" >&2
+    cat "$tmp/daemon2.log" >&2
+    return 1
+  }
+  "$tmp/tbpointctl" result -o "$tmp/served.json" "$job"
+  artifact "$tmp/served.json"
+  cmp "$tmp/oneshot.json" "$tmp/served.json" || {
+    echo "serve: served results.json differs from the one-shot CLI output" >&2
+    return 1
+  }
+
+  # Phase 2 — the artifact cache: an overlapping second job must be served
+  # from the cells the first one computed (nonzero cache_hits, nothing
+  # recomputed, measurably lower wall time) and still produce identical
+  # bytes.
+  local job2 line2
+  job2=$("$tmp/tbpointctl" submit "${args[@]}" accuracy)
+  line2=$("$tmp/tbpointctl" wait "$job2")
+  [[ "$(field "$line2" state)" == "done" ]] || {
+    echo "serve: second job failed: $line2" >&2
+    return 1
+  }
+  [[ "$(field "$line2" cache_hits)" -gt 0 && "$(field "$line2" cache_misses)" -eq 0 ]] || {
+    echo "serve: second job was not served from the artifact cache: $line2" >&2
+    return 1
+  }
+  awk -v a="$(field "$line" wall_seconds)" -v b="$(field "$line2" wall_seconds)" \
+      'BEGIN { exit !(b < a) }' || {
+    echo "serve: cached job ($line2) not faster than computed job ($line)" >&2
+    return 1
+  }
+  "$tmp/tbpointctl" result -o "$tmp/served2.json" "$job2"
+  cmp "$tmp/oneshot.json" "$tmp/served2.json" || {
+    echo "serve: cache-served results.json differs from the one-shot output" >&2
+    return 1
+  }
+
+  # The events stream must end on a terminal state, and the server metrics
+  # must account for the cache traffic.
+  "$tmp/tbpointctl" events "$job2" | tail -1 | grep -q "state=done" || {
+    echo "serve: events stream did not end with the terminal state" >&2
+    return 1
+  }
+  "$tmp/tbpointctl" metrics >"$tmp/server_metrics.json"
+  artifact "$tmp/server_metrics.json"
+  grep -q '"server.cache_hits": [1-9]' "$tmp/server_metrics.json" || {
+    echo "serve: server.cache_hits counter not exported:" >&2
+    grep '"server\.' "$tmp/server_metrics.json" >&2 || true
+    return 1
+  }
+
+  # Graceful shutdown still journals a consistent queue.
+  kill "$(cat "$tmp/d2.pid")"
+  local i
+  for i in $(seq 100); do
+    kill -0 "$(cat "$tmp/d2.pid")" 2>/dev/null || break
+    sleep 0.1
+  done
+  rm -f "$tmp/d2.pid"
+  grep -q "stopped" "$tmp/daemon2.log" || {
+    echo "serve: daemon did not shut down cleanly" >&2
+    cat "$tmp/daemon2.log" >&2
+    return 1
+  }
+  )
+}
+
 run_bench() {
   local args=()
   if [[ "${BENCH_HARD:-0}" == "1" ]]; then
@@ -159,19 +350,56 @@ run_bench() {
   go run ./cmd/benchgate "${args[@]}"
 }
 
-stage fmt check_fmt
-stage vet go vet ./...
-stage build go build ./...
-stage test go test ./...
-stage race go test -race ./internal/gpusim/ ./internal/experiments/ ./internal/core/ ./internal/par/ ./internal/durable/
-stage chaos run_chaos
-if [[ "$FAST" == "0" && "${SKIP_FUZZ:-0}" != "1" ]]; then
-  stage fuzz run_fuzz
+run_stage() {
+  case "$1" in
+    fmt)    stage fmt check_fmt ;;
+    vet)    stage vet go vet ./... ;;
+    build)  stage build go build ./... ;;
+    test)   stage test go test ./... ;;
+    race)   stage race go test -race ./internal/gpusim/ ./internal/experiments/ \
+              ./internal/core/ ./internal/par/ ./internal/durable/ \
+              ./internal/metrics/ ./internal/server/ ;;
+    chaos)  stage chaos run_chaos ;;
+    fuzz)   stage fuzz run_fuzz ;;
+    golden) stage golden go run ./cmd/goldencheck ;;
+    parsm)  stage parsm run_parsm ;;
+    serve)  stage serve run_serve ;;
+    bench)  stage bench run_bench ;;
+    *)      echo "ci.sh: unknown stage '$1' (known: ${ALL_STAGES[*]})" >&2
+            return 2 ;;
+  esac
+}
+
+# Stage selection: no args = everything, `fast` = everything minus
+# fuzz/bench, otherwise exactly the named stages in the order given.
+# Unknown names fail before any stage runs.
+STAGES=()
+if [[ $# -eq 0 ]]; then
+  STAGES=("${ALL_STAGES[@]}")
+elif [[ $# -eq 1 && "$1" == "fast" ]]; then
+  for s in "${ALL_STAGES[@]}"; do
+    [[ "$s" == "fuzz" || "$s" == "bench" ]] && continue
+    STAGES+=("$s")
+  done
+else
+  for s in "$@"; do
+    known=0
+    for k in "${ALL_STAGES[@]}"; do
+      [[ "$s" == "$k" ]] && known=1
+    done
+    if [[ "$known" == "0" ]]; then
+      echo "ci.sh: unknown stage '$s' (known: ${ALL_STAGES[*]})" >&2
+      exit 2
+    fi
+    STAGES+=("$s")
+  done
 fi
-stage golden go run ./cmd/goldencheck
-stage parsm run_parsm
-if [[ "$FAST" == "0" ]]; then
-  stage bench run_bench
-fi
+
+for s in "${STAGES[@]}"; do
+  if [[ "$s" == "fuzz" && "${SKIP_FUZZ:-0}" == "1" && $# -le 1 ]]; then
+    continue
+  fi
+  run_stage "$s"
+done
 
 echo "CI OK (${SECONDS}s)"
