@@ -41,12 +41,14 @@ import (
 	"tbpoint/internal/faultcheck"
 	"tbpoint/internal/metrics"
 	"tbpoint/internal/par"
+	"tbpoint/internal/sampler"
 )
 
 func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = Table VI size)")
 	seed := flag.Uint64("seed", 0, "workload/baseline seed")
 	bench := flag.String("bench", "", "comma-separated benchmark subset (default: all 12)")
+	samplersFlag := flag.String("samplers", "", "comma-separated estimation strategies (registry: "+strings.Join(sampler.Names(), ",")+"; also 'default', 'all'; default: the random,simpoint,tbpoint trio)")
 	samples := flag.Int("samples", 10000, "Monte-Carlo samples for fig5")
 	verbose := flag.Bool("v", false, "progress output")
 	parN := flag.Int("par", 0, "shared worker budget for independent simulations (0 = GOMAXPROCS, 1 = sequential)")
@@ -138,6 +140,13 @@ func main() {
 	opts.Ctx = ctx
 	if *bench != "" {
 		opts.Benchmarks = strings.Split(*bench, ",")
+	}
+	if *samplersFlag != "" {
+		names, err := sampler.ParseList(*samplersFlag)
+		if err != nil {
+			fail(err)
+		}
+		opts.Samplers = names
 	}
 	simWorkers, err := parseParallelSM(*parallelSM)
 	if err != nil {

@@ -6,9 +6,12 @@
 //
 //	tbpoint [-bench cfd] [-scale 0.2] [-warps 48] [-sms 14]
 //	        [-sigma-inter 0.1] [-sigma-intra 0.2] [-vf 0.3]
-//	        [-compare] [-regions]
+//	        [-compare] [-regions] [-samplers random,stratified,...]
 //
 // With -compare, the Random and Ideal-Simpoint baselines are also run.
+// With -samplers, the named estimation strategies from the registry
+// (internal/sampler) run against the full simulation, with 95% confidence
+// intervals where the strategy provides them.
 // With -regions, each representative launch's homogeneous region table is
 // printed.
 package main
@@ -27,6 +30,7 @@ import (
 
 	"tbpoint"
 	"tbpoint/internal/durable"
+	"tbpoint/internal/sampler"
 )
 
 func main() {
@@ -41,6 +45,7 @@ func main() {
 	sigmaIntra := flag.Float64("sigma-intra", 0.2, "intra-launch clustering threshold")
 	vf := flag.Float64("vf", 0.3, "variation-factor threshold for outlier epochs")
 	compare := flag.Bool("compare", false, "also run Random and Ideal-Simpoint baselines")
+	samplersFlag := flag.String("samplers", "", "also run these registry strategies against the full run (comma-separated; also 'default', 'all')")
 	regions := flag.Bool("regions", false, "print homogeneous region tables")
 	saveProfile := flag.String("save-profile", "", "write the one-time profile to this file")
 	loadProfile := flag.String("load-profile", "", "reuse a one-time profile from this file instead of re-profiling")
@@ -183,6 +188,45 @@ func main() {
 		row("Random(10%)", tbpoint.RandomBaseline(full, 0.10, 42))
 		row("Systematic(10%)", tbpoint.SystematicBaseline(full, 0.10, 42))
 		row("Ideal-Simpoint", tbpoint.SimPointBaseline(full))
+	}
+	if *samplersFlag != "" {
+		names, err := sampler.ParseList(*samplersFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		set, err := sampler.Resolve(names)
+		if err != nil {
+			log.Fatal(err)
+		}
+		in := sampler.Input{
+			Ctx:  ctx,
+			Sim:  sim,
+			Prof: prof,
+			Full: full,
+			// Seed 42 matches the -compare baselines' fixed seed.
+			Params:  sampler.Params{Frac: 0.10, Seed: 42, Sigma: *sigmaInter},
+			TBPoint: opts,
+		}
+		fmt.Printf("\n%-16s %10s %10s %10s %12s\n", "strategy", "IPC", "error", "sample", "ci95(IPC)")
+		for _, s := range set {
+			var out sampler.Outcome
+			if s.Name() == sampler.NameTBPoint {
+				// The pipeline already ran above; reuse its estimate.
+				out = sampler.Outcome{Estimate: est, Strata: res.Inter.NumClusters}
+			} else {
+				out, err = s.Estimate(in)
+				if err != nil {
+					log.Fatal(err)
+				}
+			}
+			ci := "-"
+			if out.CIHalf > 0 {
+				ci = fmt.Sprintf("±%.3f", out.CIHalf)
+			}
+			fmt.Printf("%-16s %10.3f %9.2f%% %9.2f%% %12s\n", s.Display(),
+				out.Estimate.PredictedIPC, out.Estimate.Error(full)*100,
+				out.Estimate.SampleSize*100, ci)
+		}
 	}
 	fmt.Printf("\nTBPoint savings: %.0f%% inter-launch, %.0f%% intra-launch\n",
 		est.InterFraction()*100, (1-est.InterFraction())*100)

@@ -138,6 +138,7 @@ func cmdSubmit(ctx context.Context, c *client.Client, args []string) error {
 	scale := fs.Float64("scale", 1.0, "workload scale factor")
 	seed := fs.Uint64("seed", 0, "workload/baseline seed")
 	bench := fs.String("bench", "", "comma-separated benchmark subset")
+	samplers := fs.String("samplers", "", "comma-separated estimation strategies (also 'default', 'all')")
 	samples := fs.Int("samples", 0, "Monte-Carlo samples for fig5 (0 = default)")
 	parallelSM := fs.Int("parallel-sm", 0, "simulator event loop: 0 = serial, N>=2 = epoch-parallel")
 	quantum := fs.Int64("quantum", 0, "epoch length in cycles for -parallel-sm")
@@ -166,6 +167,9 @@ func cmdSubmit(ctx context.Context, c *client.Client, args []string) error {
 	}
 	if *bench != "" {
 		spec.Benchmarks = strings.Split(*bench, ",")
+	}
+	if *samplers != "" {
+		spec.Samplers = strings.Split(*samplers, ",")
 	}
 	st, err := c.Submit(ctx, spec)
 	if err != nil {

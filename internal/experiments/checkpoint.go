@@ -27,6 +27,11 @@ func (o Options) cellKey(grid, cell string, extra ...string) string {
 	tb.Ctx = nil
 	tb.Metrics = nil
 	fmt.Fprintf(h, " tb=%+v", tb)
+	// The active strategy selection determines every cell's result shape,
+	// so it is part of the key: a resume with a different -samplers set
+	// misses and recomputes instead of surfacing cells with missing
+	// strategies.
+	fmt.Fprintf(h, " samplers=%v", o.samplerNames())
 	for _, e := range extra {
 		io.WriteString(h, " ")
 		io.WriteString(h, e)

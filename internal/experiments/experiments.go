@@ -23,8 +23,8 @@ import (
 	"tbpoint/internal/kernel"
 	"tbpoint/internal/metrics"
 	"tbpoint/internal/par"
+	"tbpoint/internal/sampler"
 	"tbpoint/internal/sampling"
-	"tbpoint/internal/simpoint"
 	"tbpoint/internal/workloads"
 )
 
@@ -49,6 +49,16 @@ type Options struct {
 	// TBPoint overrides the TBPoint options (nil = core.DefaultOptions),
 	// for threshold sweeps and ablations.
 	TBPoint *core.Options
+	// Samplers selects the estimation strategies each benchmark runs, by
+	// registry name (internal/sampler). Empty (or exactly the default
+	// random/simpoint/tbpoint trio) keeps the harness byte-identical to
+	// its pre-registry output; any other set switches the accuracy grids
+	// to the extended N-way shape: per-strategy outcomes (error, sample
+	// size, 95% CI) in results.json, registry-sized report columns, and
+	// the error-vs-speedup Pareto section. The set is folded into the
+	// checkpoint cell keys so -resume and cache-served jobs never mix
+	// estimator configurations.
+	Samplers []string
 	// SimWorkers selects the simulator's epoch-parallel event loop for the
 	// harness's simulations (full references and, unless the TBPoint
 	// override says otherwise, the representative samples): >1 runs gpusim
@@ -84,10 +94,11 @@ type Options struct {
 	// Out receives report text (required by the Print* helpers).
 	Out io.Writer
 	// Metrics, when non-nil, accumulates the harness's observability data:
-	// per-phase wall time (experiments.full_ref, experiments.tbpoint, plus
-	// the core.* phases) and every simulation's counters. Each benchmark
-	// records into a private collector that is merged into this one when the
-	// benchmark finishes, so parallel grids stay race-free.
+	// per-phase wall time (experiments.full_ref, one sampler.<name> phase
+	// per estimation strategy, plus the core.* phases) and every
+	// simulation's counters. Each benchmark records into a private
+	// collector that is merged into this one when the benchmark finishes,
+	// so parallel grids stay race-free.
 	Metrics *metrics.Collector
 }
 
@@ -224,6 +235,14 @@ func fullAppCtx(ctx context.Context, sim *gpusim.Simulator, app *kernel.App, uni
 
 // BenchResult is one benchmark's accuracy outcome under one configuration
 // (the data behind Fig. 9, 10 and 11).
+//
+// The Random/SimPoint/TBPoint fields are the historical result shape and
+// stay populated whenever those strategies are selected, so default-set
+// results.json output is byte-identical to the pre-registry harness. A
+// non-default strategy selection additionally records every outcome in
+// Samplers (keyed by registry name) and the selection itself in
+// SamplerNames, which is what the report renderers size their columns
+// from.
 type BenchResult struct {
 	Name string
 	Type workloads.Type
@@ -238,12 +257,78 @@ type BenchResult struct {
 	TBPoint  sampling.Estimate
 
 	RandomErr, SimPointErr, TBPointErr float64
+
+	// SamplerNames is the canonical strategy selection when it differs
+	// from the default trio (omitted otherwise, keeping legacy output
+	// byte-identical).
+	SamplerNames []string `json:"sampler_names,omitempty"`
+	// Samplers maps strategy name -> full outcome (estimate, error, 95%
+	// CI, stratified accounting) for non-default selections.
+	Samplers map[string]sampler.Outcome `json:"samplers,omitempty"`
+}
+
+// Outcome returns the named strategy's outcome for this result, whether it
+// was recorded in the extended Samplers map or the legacy fields (where
+// Err/CI metadata is reconstructed). The boolean reports whether the
+// strategy ran for this result at all.
+func (r *BenchResult) Outcome(name string) (sampler.Outcome, bool) {
+	if o, ok := r.Samplers[name]; ok {
+		return o, true
+	}
+	switch name {
+	case sampler.NameRandom:
+		if r.Random.Technique != "" {
+			return sampler.Outcome{Estimate: r.Random, Err: r.RandomErr}, true
+		}
+	case sampler.NameSimPoint:
+		if r.SimPoint.Technique != "" {
+			return sampler.Outcome{Estimate: r.SimPoint, Err: r.SimPointErr}, true
+		}
+	case sampler.NameTBPoint:
+		if r.TBPoint.Technique != "" {
+			return sampler.Outcome{Estimate: r.TBPoint, Err: r.TBPointErr}, true
+		}
+	}
+	return sampler.Outcome{}, false
+}
+
+// samplerNames is the canonical form of the run's strategy selection
+// (the default trio when Options.Samplers is empty). An invalid selection
+// is passed through raw here — it fails with a proper error when the set
+// is resolved in RunBenchmark — so key hashing stays total.
+func (o Options) samplerNames() []string {
+	names, err := sampler.Normalize(o.Samplers)
+	if err != nil {
+		return append([]string(nil), o.Samplers...)
+	}
+	return names
+}
+
+// samplerParams derives the shared strategy knobs from the harness
+// options: the Random fraction doubles as the unit budget of every
+// budget-driven strategy, and the stratified strata follow the TBPoint
+// inter-launch sigma so threshold sweeps move both.
+func (o Options) samplerParams() sampler.Params {
+	return sampler.Params{
+		Frac:  o.RandomFrac,
+		Seed:  o.Seed,
+		Sigma: o.tbpointOptions().SigmaInter,
+	}
 }
 
 // RunBenchmark executes the full §V-B comparison for one benchmark under
-// the given simulator configuration.
+// the given simulator configuration: every selected estimation strategy
+// (internal/sampler) against the same full reference simulation.
 func RunBenchmark(spec *workloads.Spec, cfg gpusim.Config, opts Options) (*BenchResult, error) {
 	if err := ctxErr(opts.Ctx); err != nil {
+		return nil, err
+	}
+	names, err := sampler.Normalize(opts.Samplers)
+	if err != nil {
+		return nil, err
+	}
+	set, err := sampler.Resolve(names)
+	if err != nil {
 		return nil, err
 	}
 	sim, err := gpusim.New(cfg)
@@ -275,24 +360,46 @@ func RunBenchmark(spec *workloads.Spec, cfg gpusim.Config, opts Options) (*Bench
 		FullIPC:        full.IPC(),
 		FullOverallIPC: full.OverallIPC(),
 	}
-
-	r.Random = sampling.Random(full, opts.RandomFrac, opts.Seed+0xbeef)
-	r.SimPoint = simpoint.Run(full, simpoint.DefaultOptions()).Estimate
+	if !sampler.IsDefault(names) {
+		r.SamplerNames = names
+		r.Samplers = make(map[string]sampler.Outcome, len(set))
+	}
 
 	tbopts := opts.tbpointOptions()
 	tbopts.Metrics = mc
 	tbopts.Ctx = opts.Ctx
-	sw := mc.StartPhase("experiments.tbpoint")
-	tb, err := core.Run(sim, prof, tbopts)
-	sw.Stop()
-	if err != nil {
-		return nil, err
+	in := sampler.Input{
+		Ctx:     opts.Ctx,
+		Sim:     sim,
+		Prof:    prof,
+		Full:    full,
+		Params:  opts.samplerParams(),
+		TBPoint: tbopts,
 	}
-	r.TBPoint = tb.Estimate
-
-	r.RandomErr = r.Random.Error(full)
-	r.SimPointErr = r.SimPoint.Error(full)
-	r.TBPointErr = r.TBPoint.Error(full)
+	for _, s := range set {
+		sw := mc.StartPhase("sampler." + s.Name())
+		out, err := s.Estimate(in)
+		sw.Stop()
+		if err != nil {
+			return nil, err
+		}
+		out.Err = out.Estimate.Error(full)
+		mc.Inc(metrics.SamplerEstimates)
+		mc.Add(metrics.SamplerStrata, uint64(out.Strata))
+		mc.Add(metrics.SamplerPilotUnits, uint64(out.PilotUnits))
+		mc.Add(metrics.SamplerPhase2Units, uint64(out.Phase2Units))
+		switch s.Name() {
+		case sampler.NameRandom:
+			r.Random, r.RandomErr = out.Estimate, out.Err
+		case sampler.NameSimPoint:
+			r.SimPoint, r.SimPointErr = out.Estimate, out.Err
+		case sampler.NameTBPoint:
+			r.TBPoint, r.TBPointErr = out.Estimate, out.Err
+		}
+		if r.Samplers != nil {
+			r.Samplers[s.Name()] = out
+		}
+	}
 	return r, nil
 }
 
@@ -309,9 +416,19 @@ func RunAccuracy(opts Options) ([]*BenchResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", s.Name, err)
 		}
-		opts.progress("# %-8s full IPC %.3f | err%%: random %.2f simpoint %.2f tbpoint %.2f | size%%: %.1f %.1f %.1f",
-			r.Name, r.FullIPC, r.RandomErr*100, r.SimPointErr*100, r.TBPointErr*100,
-			r.Random.SampleSize*100, r.SimPoint.SampleSize*100, r.TBPoint.SampleSize*100)
+		if r.SamplerNames == nil {
+			opts.progress("# %-8s full IPC %.3f | err%%: random %.2f simpoint %.2f tbpoint %.2f | size%%: %.1f %.1f %.1f",
+				r.Name, r.FullIPC, r.RandomErr*100, r.SimPointErr*100, r.TBPointErr*100,
+				r.Random.SampleSize*100, r.SimPoint.SampleSize*100, r.TBPoint.SampleSize*100)
+		} else {
+			var errs, sizes string
+			for _, n := range r.SamplerNames {
+				o := r.Samplers[n]
+				errs += fmt.Sprintf(" %s %.2f", n, o.Err*100)
+				sizes += fmt.Sprintf(" %.1f", o.Estimate.SampleSize*100)
+			}
+			opts.progress("# %-8s full IPC %.3f | err%%:%s | size%%:%s", r.Name, r.FullIPC, errs, sizes)
+		}
 		out = append(out, r)
 	}
 	return out, nil

@@ -3,6 +3,7 @@ package experiments
 import (
 	"bytes"
 	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -300,7 +301,7 @@ func TestSensitivityParallelMatches(t *testing.T) {
 		t.Fatalf("length mismatch")
 	}
 	for i := range seq {
-		if par[i] != seq[i] {
+		if !reflect.DeepEqual(par[i], seq[i]) {
 			t.Errorf("cell %d differs: %+v vs %+v", i, par[i], seq[i])
 		}
 	}

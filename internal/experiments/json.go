@@ -23,6 +23,10 @@ type Results struct {
 	Ablations   []AblationResult   `json:"ablations,omitempty"`
 	Accuracy    []*BenchResult     `json:"accuracy,omitempty"`
 	Sensitivity []SensResult       `json:"sensitivity,omitempty"`
+	// Pareto is the per-workload error-vs-speedup frontier over the
+	// selected strategies; present only for non-default -samplers
+	// selections (the default trio keeps the legacy bundle shape).
+	Pareto []ParetoEntry `json:"pareto,omitempty"`
 	// ParallelSM / ParallelQuantum record the simulator event-loop mode the
 	// run used (-parallel-sm): 0 is the serial loop, >1 the epoch-parallel
 	// loop with that many workers and the given epoch length.

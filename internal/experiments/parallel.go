@@ -191,6 +191,7 @@ func RunSensitivityParallel(opts Options) ([]SensResult, []CellError, error) {
 				Config:     c.hc,
 				Err:        res.Estimate.Error(full),
 				SampleSize: res.Estimate.SampleSize,
+				Samplers:   opts.sensSamplers(sim, p.prof, p.inter, full, res.Estimate),
 			}
 			done[i] = true
 			opts.progress("# %-8s %-7s err %.2f%% size %.1f%%",

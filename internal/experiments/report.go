@@ -5,6 +5,7 @@ import (
 	"io"
 	"strings"
 
+	"tbpoint/internal/sampler"
 	"tbpoint/internal/stats"
 )
 
@@ -63,55 +64,180 @@ func geo(vs []float64) float64 {
 	return stats.GeoMean(floored)
 }
 
-// PrintFig9 renders the overall-IPC comparison and sampling-error geomeans.
-func PrintFig9(w io.Writer, results []*BenchResult) {
-	fmt.Fprintln(w, "Figure 9: Overall IPC (whole-GPU) and sampling error")
-	t := &table{header: []string{"bench", "type", "full IPC", "overall(per-SM)",
-		"Random", "Ideal-Simpoint", "TBPoint",
-		"err(Rand)", "err(SP)", "err(TBP)"}}
-	var er, es, et []float64
-	for _, r := range results {
-		t.addRow(r.Name, r.Type.String(), f3(r.FullIPC), f3(r.FullOverallIPC),
-			f3(r.Random.PredictedIPC), f3(r.SimPoint.PredictedIPC), f3(r.TBPoint.PredictedIPC),
-			pct(r.RandomErr), pct(r.SimPointErr), pct(r.TBPointErr))
-		er = append(er, r.RandomErr)
-		es = append(es, r.SimPointErr)
-		et = append(et, r.TBPointErr)
+// reportSamplers resolves the strategy columns for a result set: the
+// selection recorded on the first result, or the default trio for legacy
+// results. The figure tables below size themselves from this, so adding a
+// registered strategy to a run grows every table consistently.
+func reportSamplers(results []*BenchResult) []sampler.Sampler {
+	names := sampler.DefaultSet()
+	if len(results) > 0 && results[0].SamplerNames != nil {
+		names = results[0].SamplerNames
 	}
-	t.addRow("geomean", "", "", "", "", "", "", pct(geo(er)), pct(geo(es)), pct(geo(et)))
-	t.addRow("mean", "", "", "", "", "", "", pct(stats.Mean(er)), pct(stats.Mean(es)), pct(stats.Mean(et)))
-	t.addRow("max", "", "", "", "", "", "", pct(stats.Max(er)), pct(stats.Max(es)), pct(stats.Max(et)))
+	set, err := sampler.Resolve(names)
+	if err != nil {
+		// Results decoded from a newer/foreign bundle may name strategies
+		// this binary lacks; render the ones it knows rather than nothing.
+		for _, n := range names {
+			if s, ok := sampler.Get(n); ok {
+				set = append(set, s)
+			}
+		}
+	}
+	return set
+}
+
+// emptyCells returns n empty cells (summary-row padding).
+func emptyCells(n int) []string { return make([]string, n) }
+
+// PrintFig9 renders the overall-IPC comparison and sampling-error geomeans,
+// one IPC and one error column per selected strategy.
+func PrintFig9(w io.Writer, results []*BenchResult) {
+	set := reportSamplers(results)
+	fmt.Fprintln(w, "Figure 9: Overall IPC (whole-GPU) and sampling error")
+	header := []string{"bench", "type", "full IPC", "overall(per-SM)"}
+	for _, s := range set {
+		header = append(header, s.Display())
+	}
+	for _, s := range set {
+		header = append(header, "err("+s.Abbrev()+")")
+	}
+	t := &table{header: header}
+	errs := make([][]float64, len(set))
+	for _, r := range results {
+		row := []string{r.Name, r.Type.String(), f3(r.FullIPC), f3(r.FullOverallIPC)}
+		var errCells []string
+		for i, s := range set {
+			o, ok := r.Outcome(s.Name())
+			if !ok {
+				row = append(row, "-")
+				errCells = append(errCells, "-")
+				continue
+			}
+			row = append(row, f3(o.Estimate.PredictedIPC))
+			errCells = append(errCells, pct(o.Err))
+			errs[i] = append(errs[i], o.Err)
+		}
+		t.addRow(append(row, errCells...)...)
+	}
+	summary := func(label string, f func([]float64) float64) {
+		row := append([]string{label}, emptyCells(3+len(set))...)
+		for _, es := range errs {
+			if len(es) == 0 {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, pct(f(es)))
+		}
+		t.addRow(row...)
+	}
+	summary("geomean", geo)
+	summary("mean", stats.Mean)
+	summary("max", stats.Max)
 	t.write(w)
 	fmt.Fprintf(w, "paper geomeans: Random 7.95%%, Ideal-Simpoint 1.74%%, TBPoint 0.47%%\n\n")
 }
 
-// PrintFig10 renders total sample sizes.
+// PrintFig10 renders total sample sizes, one column per selected strategy.
 func PrintFig10(w io.Writer, results []*BenchResult) {
+	set := reportSamplers(results)
 	fmt.Fprintln(w, "Figure 10: Total sample size (simulated / total warp instructions)")
-	t := &table{header: []string{"bench", "type", "Random", "Ideal-Simpoint", "TBPoint"}}
-	var sr, ss, st []float64
-	for _, r := range results {
-		t.addRow(r.Name, r.Type.String(),
-			pct(r.Random.SampleSize), pct(r.SimPoint.SampleSize), pct(r.TBPoint.SampleSize))
-		sr = append(sr, r.Random.SampleSize)
-		ss = append(ss, r.SimPoint.SampleSize)
-		st = append(st, r.TBPoint.SampleSize)
+	header := []string{"bench", "type"}
+	for _, s := range set {
+		header = append(header, s.Display())
 	}
-	t.addRow("geomean", "", pct(geo(sr)), pct(geo(ss)), pct(geo(st)))
+	t := &table{header: header}
+	sizes := make([][]float64, len(set))
+	for _, r := range results {
+		row := []string{r.Name, r.Type.String()}
+		for i, s := range set {
+			o, ok := r.Outcome(s.Name())
+			if !ok {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, pct(o.Estimate.SampleSize))
+			sizes[i] = append(sizes[i], o.Estimate.SampleSize)
+		}
+		t.addRow(row...)
+	}
+	row := append([]string{"geomean"}, emptyCells(1)...)
+	for _, ss := range sizes {
+		if len(ss) == 0 {
+			row = append(row, "-")
+			continue
+		}
+		row = append(row, pct(geo(ss)))
+	}
+	t.addRow(row...)
 	t.write(w)
 	fmt.Fprintf(w, "paper geomeans: Random 10%%, Ideal-Simpoint 5.4%%, TBPoint 2.6%%\n\n")
 }
 
-// PrintFig11 renders the inter/intra savings breakdown.
+// PrintFig11 renders the inter/intra savings breakdown for every selected
+// strategy that attributes skipped work (Breakdown() == true). Columns run
+// in reverse canonical order, which reproduces the historical TBP-then-SP
+// layout for the default set.
 func PrintFig11(w io.Writer, results []*BenchResult) {
+	var set []sampler.Sampler
+	for _, s := range reportSamplers(results) {
+		if s.Breakdown() {
+			set = append(set, s)
+		}
+	}
+	for i, j := 0, len(set)-1; i < j; i, j = i+1, j-1 {
+		set[i], set[j] = set[j], set[i]
+	}
 	fmt.Fprintln(w, "Figure 11: Breakdown of skipped instructions (inter vs intra launch)")
-	t := &table{header: []string{"bench", "type",
-		"TBP inter%", "TBP intra%", "SP inter%", "SP intra%"}}
+	header := []string{"bench", "type"}
+	for _, s := range set {
+		header = append(header, s.Abbrev()+" inter%", s.Abbrev()+" intra%")
+	}
+	t := &table{header: header}
 	for _, r := range results {
-		ti := r.TBPoint.InterFraction()
-		si := r.SimPoint.InterFraction()
-		t.addRow(r.Name, r.Type.String(),
-			pct(ti), pct(1-ti), pct(si), pct(1-si))
+		row := []string{r.Name, r.Type.String()}
+		for _, s := range set {
+			o, ok := r.Outcome(s.Name())
+			if !ok {
+				row = append(row, "-", "-")
+				continue
+			}
+			fi := o.Estimate.InterFraction()
+			row = append(row, pct(fi), pct(1-fi))
+		}
+		t.addRow(row...)
+	}
+	t.write(w)
+	fmt.Fprintln(w)
+}
+
+// PrintSamplerDetail renders the extended per-strategy table (only shown
+// for non-default selections): error, sample size, 95% confidence interval
+// and the stratified backend's two-phase accounting.
+func PrintSamplerDetail(w io.Writer, results []*BenchResult) {
+	set := reportSamplers(results)
+	fmt.Fprintln(w, "Sampler detail: per-strategy error, sample size and 95% CI")
+	t := &table{header: []string{"bench", "strategy", "IPC", "err", "sample",
+		"ci95(IPC)", "strata", "pilot", "phase2"}}
+	for _, r := range results {
+		for _, s := range set {
+			o, ok := r.Outcome(s.Name())
+			if !ok {
+				continue
+			}
+			ci := "-"
+			if o.CIHalf > 0 {
+				ci = "±" + f3(o.CIHalf)
+			}
+			count := func(v int) string {
+				if v == 0 {
+					return "-"
+				}
+				return fmt.Sprintf("%d", v)
+			}
+			t.addRow(r.Name, s.Display(), f3(o.Estimate.PredictedIPC), pct(o.Err),
+				pct(o.Estimate.SampleSize), ci,
+				count(o.Strata), count(o.PilotUnits), count(o.Phase2Units))
+		}
 	}
 	t.write(w)
 	fmt.Fprintln(w)

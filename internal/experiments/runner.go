@@ -223,6 +223,14 @@ func RunTargets(opts Options, spec RunSpec, w io.Writer) (*Results, error) {
 			PrintFig10(w, results)
 			PrintFig11(w, results)
 			bundle.Accuracy = results
+			// The extended sections only render for non-default strategy
+			// selections — the default trio keeps the report byte-identical
+			// to the pre-registry harness.
+			if len(results) > 0 && results[0].SamplerNames != nil {
+				PrintSamplerDetail(w, results)
+				bundle.Pareto = ComputePareto(results)
+				PrintPareto(w, bundle.Pareto)
+			}
 		}
 	})
 	run("agreement", func() {
@@ -257,6 +265,7 @@ func RunTargets(opts Options, spec RunSpec, w io.Writer) (*Results, error) {
 		if handle(err) || len(results) > 0 {
 			PrintFig12(w, results)
 			PrintFig13(w, results)
+			PrintSensSamplers(w, results)
 			bundle.Sensitivity = results
 		}
 	})

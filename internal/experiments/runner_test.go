@@ -3,6 +3,7 @@ package experiments
 import (
 	"bytes"
 	"context"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -66,7 +67,7 @@ func TestRunTargetsMatchesGridRun(t *testing.T) {
 		t.Fatalf("bundle has %d accuracy rows, direct run %d", len(bundle.Accuracy), len(direct))
 	}
 	for i := range direct {
-		if *bundle.Accuracy[i] != *direct[i] {
+		if !reflect.DeepEqual(bundle.Accuracy[i], direct[i]) {
 			t.Errorf("row %d differs: %+v vs %+v", i, bundle.Accuracy[i], direct[i])
 		}
 	}

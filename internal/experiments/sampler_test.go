@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tbpoint/internal/gpusim"
+	"tbpoint/internal/sampler"
+	"tbpoint/internal/sampling"
+	"tbpoint/internal/workloads"
+)
+
+func TestCellKeyFoldsSamplers(t *testing.T) {
+	base := fastOpts()
+	def := base.cellKey("accuracy", "stream")
+
+	explicit := base
+	explicit.Samplers = []string{"tbpoint", "simpoint", "random"}
+	if got := explicit.cellKey("accuracy", "stream"); got != def {
+		t.Errorf("explicit default trio changed the cell key:\n%s\n%s", def, got)
+	}
+
+	ext := base
+	ext.Samplers = []string{"all"}
+	if got := ext.cellKey("accuracy", "stream"); got == def {
+		t.Error("extended selection did not change the cell key")
+	}
+}
+
+func TestBenchResultOutcomeLegacy(t *testing.T) {
+	r := &BenchResult{
+		Random:      sampling.Estimate{Technique: "Random", PredictedIPC: 2},
+		SimPoint:    sampling.Estimate{Technique: "Ideal-Simpoint", PredictedIPC: 3},
+		TBPoint:     sampling.Estimate{Technique: "TBPoint", PredictedIPC: 4},
+		RandomErr:   0.1,
+		SimPointErr: 0.2,
+		TBPointErr:  0.3,
+	}
+	o, ok := r.Outcome(sampler.NameTBPoint)
+	if !ok || o.Estimate.PredictedIPC != 4 || o.Err != 0.3 {
+		t.Errorf("legacy tbpoint outcome: %+v ok=%v", o, ok)
+	}
+	if _, ok := r.Outcome(sampler.NameStratified); ok {
+		t.Error("stratified outcome present on a legacy result")
+	}
+	// The extended map wins over legacy fields when present.
+	r.Samplers = map[string]sampler.Outcome{
+		sampler.NameTBPoint: {Estimate: sampling.Estimate{PredictedIPC: 9}, Err: 0.9},
+	}
+	if o, _ := r.Outcome(sampler.NameTBPoint); o.Err != 0.9 {
+		t.Errorf("map did not take precedence: %+v", o)
+	}
+}
+
+// TestRunBenchmarkExtended runs the full N-way path on one small benchmark:
+// the extended result must carry every selected strategy, agree with the
+// legacy fields for the default trio, and render the extended report
+// sections.
+func TestRunBenchmarkExtended(t *testing.T) {
+	opts := fastOpts()
+	opts.Samplers = []string{"all"}
+	spec, err := workloads.ByName("stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RunBenchmark(spec, gpusim.DefaultConfig(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.SamplerNames) != len(sampler.Names()) {
+		t.Fatalf("SamplerNames = %v", r.SamplerNames)
+	}
+	for _, n := range sampler.Names() {
+		o, ok := r.Outcome(n)
+		if !ok {
+			t.Fatalf("missing outcome for %q", n)
+		}
+		if o.Estimate.PredictedIPC <= 0 {
+			t.Errorf("%s: non-positive predicted IPC %g", n, o.Estimate.PredictedIPC)
+		}
+	}
+	// Legacy fields mirror the map for the trio.
+	if o := r.Samplers[sampler.NameTBPoint]; o.Err != r.TBPointErr {
+		t.Errorf("legacy TBPointErr %g != map %g", r.TBPointErr, o.Err)
+	}
+	strat := r.Samplers[sampler.NameStratified]
+	if strat.Strata < 1 || strat.PilotUnits < 1 {
+		t.Errorf("stratified accounting missing: %+v", strat)
+	}
+
+	results := []*BenchResult{r}
+	var buf bytes.Buffer
+	PrintFig9(&buf, results)
+	PrintFig11(&buf, results)
+	PrintSamplerDetail(&buf, results)
+	out := buf.String()
+	for _, want := range []string{"Stratified", "err(Strat)", "Systematic", "ci95"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("extended report missing %q", want)
+		}
+	}
+
+	entries := ComputePareto(results)
+	if len(entries) != len(sampler.Names()) {
+		t.Fatalf("pareto entries = %d", len(entries))
+	}
+	frontier := 0
+	for _, e := range entries {
+		if e.OnFrontier {
+			frontier++
+		}
+	}
+	if frontier == 0 {
+		t.Error("no strategy on the Pareto frontier")
+	}
+}
+
+// TestDefaultReportShapeUnchanged pins the legacy column layout for the
+// default trio — the byte-identity contract's report half.
+func TestDefaultReportShapeUnchanged(t *testing.T) {
+	r := &BenchResult{
+		Name: "x", Type: 0,
+		FullIPC: 1, FullOverallIPC: 2,
+		Random:   sampling.Estimate{Technique: "Random", PredictedIPC: 1},
+		SimPoint: sampling.Estimate{Technique: "Ideal-Simpoint", PredictedIPC: 1},
+		TBPoint:  sampling.Estimate{Technique: "TBPoint", PredictedIPC: 1},
+	}
+	var buf bytes.Buffer
+	PrintFig9(&buf, []*BenchResult{r})
+	head := strings.SplitN(buf.String(), "\n", 3)[1]
+	// "bench" pads to the "geomean" summary label's width, as it always has.
+	want := "bench    type  full IPC  overall(per-SM)  Random  Ideal-Simpoint  TBPoint  err(Rand)  err(SP)  err(TBP)"
+	if head != want {
+		t.Errorf("Fig9 header changed:\n got %q\nwant %q", head, want)
+	}
+	buf.Reset()
+	PrintFig11(&buf, []*BenchResult{r})
+	head = strings.SplitN(buf.String(), "\n", 3)[1]
+	want = "bench  type  TBP inter%  TBP intra%  SP inter%  SP intra%"
+	if head != want {
+		t.Errorf("Fig11 header changed:\n got %q\nwant %q", head, want)
+	}
+}

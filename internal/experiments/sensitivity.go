@@ -3,9 +3,12 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"tbpoint/internal/core"
 	"tbpoint/internal/gpusim"
+	"tbpoint/internal/sampler"
+	"tbpoint/internal/sampling"
 	"tbpoint/internal/workloads"
 )
 
@@ -37,6 +40,50 @@ type SensResult struct {
 	Config     HWConfig
 	Err        float64
 	SampleSize float64
+	// Samplers holds every selected strategy's outcome at this hardware
+	// point for non-default -samplers selections (TBPoint reuses the
+	// one-time-profiling Retarget result; the others re-estimate against
+	// this configuration's full run). Nil for the default selection.
+	Samplers map[string]sampler.Outcome `json:"samplers,omitempty"`
+}
+
+// sensSamplers computes the extended per-strategy outcomes for one
+// sensitivity cell, or nil for the default selection. The TBPoint entry
+// reuses the Retarget result (tbEst/inter) so the extended run keeps the
+// §V-C one-time-profiling semantics instead of re-profiling per point.
+func (o Options) sensSamplers(sim *gpusim.Simulator, prof *core.AppProfile,
+	inter *core.InterResult, full *sampling.AppRun, tbEst sampling.Estimate) map[string]sampler.Outcome {
+	names := o.samplerNames()
+	if sampler.IsDefault(names) {
+		return nil
+	}
+	set, err := sampler.Resolve(names)
+	if err != nil {
+		return nil
+	}
+	in := sampler.Input{
+		Sim:     sim,
+		Prof:    prof,
+		Full:    full,
+		Params:  o.samplerParams(),
+		TBPoint: o.tbpointOptions(),
+	}
+	m := make(map[string]sampler.Outcome, len(set))
+	for _, s := range set {
+		var out sampler.Outcome
+		if s.Name() == sampler.NameTBPoint {
+			out = sampler.Outcome{Estimate: tbEst, Strata: inter.NumClusters}
+		} else {
+			var err error
+			out, err = s.Estimate(in)
+			if err != nil {
+				continue
+			}
+		}
+		out.Err = out.Estimate.Error(full)
+		m[s.Name()] = out
+	}
+	return m
 }
 
 // RunSensitivity evaluates TBPoint across the hardware sweep.
@@ -70,6 +117,7 @@ func RunSensitivity(opts Options) ([]SensResult, error) {
 				Config:     hc,
 				Err:        res.Estimate.Error(full),
 				SampleSize: res.Estimate.SampleSize,
+				Samplers:   opts.sensSamplers(sim, prof, inter, full, res.Estimate),
 			}
 			opts.progress("# %-8s %-7s err %.2f%% size %.1f%%",
 				sr.Bench, hc.Name(), sr.Err*100, sr.SampleSize*100)
@@ -92,6 +140,42 @@ func PrintFig13(w io.Writer, results []SensResult) {
 	fmt.Fprintln(w, "Figure 13: TBPoint total sample size across hardware configurations")
 	printSensTable(w, results, func(r SensResult) string { return pct(r.SampleSize) })
 	fmt.Fprintln(w)
+}
+
+// PrintSensSamplers renders one error table per additional strategy for
+// extended selections (TBPoint already owns Fig. 12). A no-op for legacy
+// results, so the default report is untouched.
+func PrintSensSamplers(w io.Writer, results []SensResult) {
+	if len(results) == 0 || len(results[0].Samplers) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(results[0].Samplers))
+	for k := range results[0].Samplers {
+		keys = append(keys, k)
+	}
+	names, err := sampler.Normalize(keys)
+	if err != nil {
+		sort.Strings(keys)
+		names = keys
+	}
+	for _, name := range names {
+		if name == sampler.NameTBPoint {
+			continue
+		}
+		display := name
+		if s, ok := sampler.Get(name); ok {
+			display = s.Display()
+		}
+		fmt.Fprintf(w, "Sensitivity: %s sampling error across hardware configurations\n", display)
+		printSensTable(w, results, func(r SensResult) string {
+			o, ok := r.Samplers[name]
+			if !ok {
+				return "-"
+			}
+			return pct(o.Err)
+		})
+		fmt.Fprintln(w)
+	}
 }
 
 func printSensTable(w io.Writer, results []SensResult, cell func(SensResult) string) {

@@ -132,6 +132,14 @@ const (
 	ServerCacheHits
 	ServerCacheMisses
 
+	// Estimation-strategy subsystem (internal/sampler, recorded by the
+	// experiments harness): how many strategy estimates ran per benchmark
+	// cell, and the stratified backend's two-phase unit accounting.
+	SamplerEstimates   // strategy estimates computed
+	SamplerStrata      // strata across stratified estimates
+	SamplerPilotUnits  // stratified pilot-phase units sampled
+	SamplerPhase2Units // stratified Neyman-allocated phase-two units
+
 	NumCounters
 )
 
@@ -193,6 +201,11 @@ var counterNames = [NumCounters]string{
 	ServerJobsRequeued:  "server.jobs_requeued",
 	ServerCacheHits:     "server.cache_hits",
 	ServerCacheMisses:   "server.cache_misses",
+
+	SamplerEstimates:   "sampler.estimates",
+	SamplerStrata:      "sampler.strata",
+	SamplerPilotUnits:  "sampler.pilot_units",
+	SamplerPhase2Units: "sampler.phase2_units",
 }
 
 // Name returns the counter's report name ("group.name").

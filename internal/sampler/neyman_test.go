@@ -1,0 +1,143 @@
+package sampler
+
+import (
+	"math"
+	"testing"
+)
+
+func sum(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+
+func TestNeymanAllocateProportional(t *testing.T) {
+	// Weights 1:2:3 over ample capacity: the allocation tracks the ratio.
+	got := NeymanAllocate(60, []int{100, 100, 100}, []float64{1, 2, 3})
+	want := []int{10, 20, 30}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("allocation %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNeymanAllocateZeroVarianceStrata(t *testing.T) {
+	// A zero-weight (zero pilot variance) stratum gets nothing while any
+	// other stratum still wants units.
+	got := NeymanAllocate(10, []int{50, 50}, []float64{0, 5})
+	if got[0] != 0 || got[1] != 10 {
+		t.Fatalf("zero-variance stratum was fed: %v", got)
+	}
+	// All weights zero: capacity-proportional fallback, still fully spent.
+	got = NeymanAllocate(30, []int{10, 20}, []float64{0, 0})
+	if sum(got) != 30 || got[0] > 10 || got[1] > 20 {
+		t.Fatalf("capacity fallback broken: %v", got)
+	}
+	if got[0] != 10 || got[1] != 20 {
+		t.Fatalf("capacity-proportional fallback: %v, want [10 20]", got)
+	}
+}
+
+func TestNeymanAllocateBudgetBelowStratumCount(t *testing.T) {
+	// Two units across four strata: the heaviest strata win, index order
+	// breaking ties.
+	got := NeymanAllocate(2, []int{5, 5, 5, 5}, []float64{1, 4, 2, 4})
+	want := []int{0, 1, 0, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("allocation %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNeymanAllocateSaturation(t *testing.T) {
+	// Budget above total capacity saturates every stratum, no more.
+	got := NeymanAllocate(1000, []int{3, 0, 7}, []float64{1, 1, 1})
+	if got[0] != 3 || got[1] != 0 || got[2] != 7 {
+		t.Fatalf("saturation: %v", got)
+	}
+}
+
+func TestNeymanAllocateDegenerateInputs(t *testing.T) {
+	if got := NeymanAllocate(-5, []int{10}, []float64{1}); got[0] != 0 {
+		t.Errorf("negative budget allocated: %v", got)
+	}
+	if got := NeymanAllocate(5, []int{-3, 10}, []float64{1, 1}); got[0] != 0 || got[1] != 5 {
+		t.Errorf("negative capacity mishandled: %v", got)
+	}
+	// NaN / Inf / negative weights are zero; with one sane weight left it
+	// takes everything.
+	got := NeymanAllocate(4, []int{10, 10, 10, 10},
+		[]float64{math.NaN(), math.Inf(1), -2, 1})
+	if got[3] != 4 || got[0] != 0 || got[1] != 0 || got[2] != 0 {
+		t.Errorf("non-finite weights mishandled: %v", got)
+	}
+	if got := NeymanAllocate(3, nil, nil); len(got) != 0 {
+		t.Errorf("empty strata: %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	NeymanAllocate(1, []int{1, 2}, []float64{1})
+}
+
+// FuzzStratifiedAllocate checks the allocation invariants over arbitrary
+// budgets, capacities and weights: per-stratum bounds, exact budget
+// exhaustion up to capacity, and termination (the fuzzer would hang on a
+// non-terminating loop).
+func FuzzStratifiedAllocate(f *testing.F) {
+	f.Add(10, []byte{4, 4, 4}, []byte{1, 2, 3})
+	f.Add(0, []byte{}, []byte{})
+	f.Add(-3, []byte{9}, []byte{0})
+	f.Add(1000, []byte{1, 255, 0, 17}, []byte{255, 0, 1, 128})
+	f.Fuzz(func(t *testing.T, budget int, capBytes, wBytes []byte) {
+		n := len(capBytes)
+		if len(wBytes) < n {
+			n = len(wBytes)
+		}
+		if n > 64 {
+			n = 64
+		}
+		capacity := make([]int, n)
+		weight := make([]float64, n)
+		totalCap := 0
+		for i := 0; i < n; i++ {
+			capacity[i] = int(capBytes[i])
+			totalCap += capacity[i]
+			// Exercise the sanitizer: byte 255 becomes NaN, 254 becomes -1.
+			switch wBytes[i] {
+			case 255:
+				weight[i] = math.NaN()
+			case 254:
+				weight[i] = -1
+			default:
+				weight[i] = float64(wBytes[i])
+			}
+		}
+		out := NeymanAllocate(budget, capacity, weight)
+		if len(out) != n {
+			t.Fatalf("len(out) = %d, want %d", len(out), n)
+		}
+		for i, v := range out {
+			if v < 0 || v > capacity[i] {
+				t.Fatalf("out[%d] = %d outside [0, %d]", i, v, capacity[i])
+			}
+		}
+		wantSum := budget
+		if wantSum < 0 {
+			wantSum = 0
+		}
+		if wantSum > totalCap {
+			wantSum = totalCap
+		}
+		if got := sum(out); got != wantSum {
+			t.Fatalf("sum(out) = %d, want %d (budget %d, capacity %d)",
+				got, wantSum, budget, totalCap)
+		}
+	})
+}

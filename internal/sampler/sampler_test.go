@@ -1,0 +1,131 @@
+package sampler
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestRegistryCanonicalOrder(t *testing.T) {
+	want := []string{NameRandom, NameSystematic, NameSimPoint, NameTBPoint, NameStratified}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for _, n := range want {
+		s, ok := Get(n)
+		if !ok {
+			t.Fatalf("Get(%q) missing", n)
+		}
+		if s.Name() != n {
+			t.Errorf("Get(%q).Name() = %q", n, s.Name())
+		}
+		if s.Display() == "" || s.Abbrev() == "" {
+			t.Errorf("%q: empty display/abbrev", n)
+		}
+	}
+	if _, ok := Get("nope"); ok {
+		t.Error("Get(nope) succeeded")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	cases := []struct {
+		in   []string
+		want []string
+		err  bool
+	}{
+		{nil, DefaultSet(), false},
+		{[]string{}, DefaultSet(), false},
+		{[]string{"", "  "}, DefaultSet(), false},
+		{[]string{"default"}, DefaultSet(), false},
+		{[]string{"all"}, Names(), false},
+		// Canonical order regardless of input order, duplicates collapse.
+		{[]string{"tbpoint", "random", "random"}, []string{NameRandom, NameTBPoint}, false},
+		{[]string{" TBPoint ", "STRATIFIED"}, []string{NameTBPoint, NameStratified}, false},
+		{[]string{"default", "stratified"},
+			[]string{NameRandom, NameSimPoint, NameTBPoint, NameStratified}, false},
+		{[]string{"bogus"}, nil, true},
+	}
+	for _, c := range cases {
+		got, err := Normalize(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("Normalize(%v): no error", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Normalize(%v): %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Normalize(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseListAndResolve(t *testing.T) {
+	names, err := ParseList(" stratified, random ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{NameRandom, NameStratified}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("ParseList = %v, want %v", names, want)
+	}
+	set, err := Resolve(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 2 || set[0].Name() != NameRandom || set[1].Name() != NameStratified {
+		t.Fatalf("Resolve order wrong: %v", set)
+	}
+	if _, err := ParseList("random,bogus"); err == nil {
+		t.Error("ParseList with unknown name: no error")
+	}
+	if _, err := Resolve([]string{"bogus"}); err == nil {
+		t.Error("Resolve with unknown name: no error")
+	}
+	if names, err := ParseList(""); err != nil || !reflect.DeepEqual(names, DefaultSet()) {
+		t.Errorf("ParseList(\"\") = %v, %v", names, err)
+	}
+}
+
+func TestIsDefault(t *testing.T) {
+	if !IsDefault(DefaultSet()) {
+		t.Error("IsDefault(DefaultSet()) = false")
+	}
+	// Order-insensitive.
+	if !IsDefault([]string{NameTBPoint, NameRandom, NameSimPoint}) {
+		t.Error("IsDefault is order-sensitive")
+	}
+	if IsDefault([]string{NameRandom, NameSimPoint}) {
+		t.Error("IsDefault on a subset")
+	}
+	if IsDefault(Names()) {
+		t.Error("IsDefault on the full registry")
+	}
+}
+
+type fakeSampler struct{ name string }
+
+func (f fakeSampler) Name() string                    { return f.name }
+func (f fakeSampler) Display() string                 { return f.name }
+func (f fakeSampler) Abbrev() string                  { return f.name }
+func (f fakeSampler) Breakdown() bool                 { return false }
+func (f fakeSampler) Estimate(Input) (Outcome, error) { return Outcome{}, nil }
+
+func TestRegisterPanics(t *testing.T) {
+	mustPanic := func(what string, f func()) {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Errorf("%s: no panic", what)
+			} else if !strings.Contains(r.(string), "sampler:") {
+				t.Errorf("%s: unexpected panic %v", what, r)
+			}
+		}()
+		f()
+	}
+	mustPanic("duplicate", func() { Register(fakeSampler{name: NameRandom}) })
+	mustPanic("empty name", func() { Register(fakeSampler{}) })
+}

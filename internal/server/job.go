@@ -29,6 +29,7 @@ import (
 
 	"tbpoint/internal/experiments"
 	"tbpoint/internal/metrics"
+	"tbpoint/internal/sampler"
 )
 
 // Duration is a time.Duration that marshals as a Go duration string
@@ -74,6 +75,11 @@ type JobSpec struct {
 	Seed uint64 `json:"seed,omitempty"`
 	// Benchmarks restricts the run to the named benchmarks (nil = all 12).
 	Benchmarks []string `json:"benchmarks,omitempty"`
+	// Samplers selects the estimation strategies by registry name
+	// (internal/sampler; "default"/"all" expand). Nil keeps the default
+	// random/simpoint/tbpoint trio and the legacy bundle shape. Validated
+	// and canonicalized at submission.
+	Samplers []string `json:"samplers,omitempty"`
 	// Samples is the fig5 Monte-Carlo sample count (0 = 10000).
 	Samples int `json:"samples,omitempty"`
 	// ParallelSM selects the simulator event loop per job: 0/1 = the serial
@@ -118,6 +124,16 @@ func (s *JobSpec) Validate() error {
 		// same vocabulary as -parallel-sm: 0 = serial, >= 2 = parallel.
 		return fmt.Errorf("server: parallel_sm must be 0 (serial) or >= 2, got %d", s.ParallelSM)
 	}
+	if len(s.Samplers) > 0 {
+		// Canonicalize at the HTTP boundary: unknown strategies fail the
+		// submission, and the stored spec (hence the artifact-cache keys)
+		// uses the canonical order.
+		names, err := sampler.Normalize(s.Samplers)
+		if err != nil {
+			return err
+		}
+		s.Samplers = names
+	}
 	if s.Retries < 0 {
 		return fmt.Errorf("server: negative retries %d", s.Retries)
 	}
@@ -137,6 +153,7 @@ func (s JobSpec) options() experiments.Options {
 	opts := experiments.DefaultOptions(s.Scale)
 	opts.Seed = s.Seed
 	opts.Benchmarks = s.Benchmarks
+	opts.Samplers = s.Samplers
 	opts.SimWorkers = s.ParallelSM
 	opts.SimQuantum = s.Quantum
 	opts.Retry = experiments.RetryPolicy{Attempts: s.Retries, Seed: s.Seed}

@@ -291,6 +291,7 @@ func TestSubmitValidation(t *testing.T) {
 		{Targets: []string{"accuracy"}, Scale: -1},
 		{Targets: []string{"accuracy"}, ParallelSM: 1},
 		{Targets: []string{"accuracy"}, Retries: -2},
+		{Targets: []string{"accuracy"}, Samplers: []string{"nope"}},
 	}
 	for _, spec := range cases {
 		if _, err := c.Submit(ctx, spec); err == nil {
@@ -322,5 +323,17 @@ func TestDefaultsNormalized(t *testing.T) {
 	}
 	if st.Spec.Scale != 1.0 || st.Spec.Retries != 1 {
 		t.Errorf("normalized spec = %+v, want scale 1.0 retries 1", st.Spec)
+	}
+
+	// Sampler lists are canonicalized at the boundary too, so equivalent
+	// selections hash to the same grid cells.
+	spec := smallSpec()
+	spec.Samplers = []string{"TBPoint", "random", "simpoint", "random"}
+	st2, err := d.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(st2.Spec.Samplers, ","); got != "random,simpoint,tbpoint" {
+		t.Errorf("samplers normalized to %q, want canonical order", got)
 	}
 }

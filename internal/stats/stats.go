@@ -35,6 +35,38 @@ func Variance(xs []float64) float64 {
 // StdDev returns the population standard deviation of xs.
 func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
 
+// SampleVariance returns the unbiased (n-1 denominator) sample variance of
+// xs, or 0 for fewer than two samples. Variance divides by n, which is
+// right for describing a full population; an estimator extrapolating from
+// a sample (the stratified pilot phase) wants this one.
+func SampleVariance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// Z95 is the two-sided 95% critical value of the standard normal
+// distribution, the multiplier behind every 95% confidence interval the
+// sampler subsystem reports.
+const Z95 = 1.959963984540054
+
+// NormalCI95Half returns the half-width of a 95% normal-approximation
+// confidence interval for an estimator with the given variance:
+// Z95 * sqrt(variance). Non-positive (or NaN) variances yield 0.
+func NormalCI95Half(variance float64) float64 {
+	if !(variance > 0) {
+		return 0
+	}
+	return Z95 * math.Sqrt(variance)
+}
+
 // CoV returns the coefficient of variation (stddev/mean) of xs.
 // It returns 0 when the mean is 0 to keep the variation factor of an
 // all-zero epoch well defined (Eq. 5 of the paper).

@@ -20,6 +20,13 @@
 #   fuzz    10s fuzz smoke over each existing fuzz target
 #   golden  cmd/goldencheck re-runs the five determinism benchmarks and
 #           diffs the full metrics counter set against testdata goldens
+#   samplers the pluggable estimation-strategy registry: the
+#           internal/sampler test suite (registry round-trip, Neyman
+#           allocation edge cases, stratified estimator properties), an
+#           N-way -samplers grid smoke on two workloads (extended result
+#           shape, Pareto section, CI columns, sampler.* counters), and
+#           the byte-identity invariant that an explicitly selected
+#           default trio equals an unflagged run
 #   parsm   the -parallel-sm event loop: race-detector pass over the
 #           TestParallel* suite (barrier hammer, determinism, worker-count
 #           invariance, chaos cancellation), then a serial-vs-parallel
@@ -48,7 +55,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-ALL_STAGES=(fmt vet build test race chaos fuzz golden parsm serve bench)
+ALL_STAGES=(fmt vet build test race chaos fuzz golden samplers parsm serve bench)
 
 stage() {
   local name="$1"
@@ -89,6 +96,7 @@ run_fuzz() {
   go test -run='^$' -fuzz='^FuzzReadRegionTable$' -fuzztime=10s ./internal/core/
   go test -run='^$' -fuzz='^FuzzReadProfiles$' -fuzztime=10s ./internal/core/
   go test -run='^$' -fuzz='^FuzzReadCheckpoint$' -fuzztime=10s ./internal/durable/
+  go test -run='^$' -fuzz='^FuzzStratifiedAllocate$' -fuzztime=10s ./internal/sampler/
 }
 
 run_chaos() {
@@ -342,6 +350,73 @@ run_serve() {
   )
 }
 
+run_samplers() {
+  # The sampler registry end to end: the package's own suite first, then
+  # cmd/experiments driving the registry — the byte-identity contract
+  # (explicit default trio == unflagged run, no extended fields leaked)
+  # and the extended N-way shape (per-strategy outcomes, CI columns,
+  # Pareto section, sampler.* counters) on two workloads.
+  (
+  local tmp
+  tmp=$(mktemp -d)
+  trap 'rm -rf "$tmp"' EXIT
+  go test -count=1 ./internal/sampler/
+  local bin="$tmp/experiments"
+  go build -o "$bin" ./cmd/experiments
+  local args=(-par 1 -scale 0.02 -seed 7 -bench stream,black)
+
+  "$bin" "${args[@]}" -json "$tmp/default.json" accuracy >"$tmp/default.txt"
+  "$bin" "${args[@]}" -samplers tbpoint,simpoint,random \
+    -json "$tmp/trio.json" accuracy >"$tmp/trio.txt"
+  cmp "$tmp/default.json" "$tmp/trio.json" || {
+    echo "samplers: explicit default trio is not byte-identical to the default run" >&2
+    return 1
+  }
+  cmp "$tmp/default.txt" "$tmp/trio.txt" || {
+    echo "samplers: explicit default trio changed the report text" >&2
+    return 1
+  }
+  if grep -q '"sampler_names"' "$tmp/default.json"; then
+    echo "samplers: default run leaked the extended result shape" >&2
+    return 1
+  fi
+
+  "$bin" "${args[@]}" -samplers all -json "$tmp/nway.json" \
+    -metrics-json "$tmp/nway_metrics.json" accuracy >"$tmp/nway.txt"
+  artifact "$tmp/nway.json" samplers_nway.json
+  artifact "$tmp/nway_metrics.json" samplers_nway_metrics.json
+  local want
+  for want in '"sampler_names"' '"samplers"' '"pareto"' '"ci95_half"' '"pilot_units"'; do
+    grep -q "$want" "$tmp/nway.json" || {
+      echo "samplers: N-way results.json missing $want" >&2
+      return 1
+    }
+  done
+  for want in 'Sampler detail' 'Pareto: error vs speedup' 'ci95' 'Stratified' 'err(Strat)'; do
+    grep -q "$want" "$tmp/nway.txt" || {
+      echo "samplers: N-way report missing '$want'" >&2
+      return 1
+    }
+  done
+  # 5 registered strategies x 2 benchmarks.
+  grep -q '"sampler.estimates": 10' "$tmp/nway_metrics.json" || {
+    echo "samplers: sampler.estimates counter wrong:" >&2
+    grep '"sampler\.' "$tmp/nway_metrics.json" >&2 || true
+    return 1
+  }
+  grep -q 'sampler.stratified' "$tmp/nway_metrics.json" || {
+    echo "samplers: no sampler.stratified phase recorded" >&2
+    return 1
+  }
+
+  # An unknown strategy must fail before any simulation starts.
+  if "$bin" "${args[@]}" -samplers bogus accuracy >/dev/null 2>&1; then
+    echo "samplers: unknown sampler name was accepted" >&2
+    return 1
+  fi
+  )
+}
+
 run_bench() {
   local args=()
   if [[ "${BENCH_HARD:-0}" == "1" ]]; then
@@ -362,6 +437,7 @@ run_stage() {
     chaos)  stage chaos run_chaos ;;
     fuzz)   stage fuzz run_fuzz ;;
     golden) stage golden go run ./cmd/goldencheck ;;
+    samplers) stage samplers run_samplers ;;
     parsm)  stage parsm run_parsm ;;
     serve)  stage serve run_serve ;;
     bench)  stage bench run_bench ;;
