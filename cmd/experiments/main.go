@@ -60,6 +60,8 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit); partial results are still written")
 	checkpointDir := flag.String("checkpoint-dir", "", "journal each completed grid cell into this directory (atomic, checksummed)")
 	resume := flag.Bool("resume", false, "skip grid cells already journaled in -checkpoint-dir instead of re-running them")
+	subcell := flag.Bool("subcell", false, "also cache sub-cell artifacts (profile, clustering, full reference) in -checkpoint-dir, so overlapping-but-non-identical runs share the expensive phases")
+	cacheMax := flag.Int64("cache-max-bytes", 0, "byte budget for -checkpoint-dir; LRU entries are evicted over it (0 = unbounded)")
 	retries := flag.Int("retries", 1, "attempts per grid cell before its failure is recorded (exponential backoff with seeded jitter)")
 	cellDeadline := flag.Duration("cell-deadline", 0, "wall-time budget per grid cell, all attempts together (0 = no limit)")
 	parallelSM := flag.String("parallel-sm", "off", "simulator event loop: off = serial (bit-identical reference), N>1 = epoch-parallel with N workers")
@@ -187,14 +189,22 @@ func main() {
 				os.Exit(3)
 			})
 		}
+		if *cacheMax > 0 {
+			store.SetMaxBytes(*cacheMax)
+		}
 		opts.Checkpoint = store
 		opts.Resume = *resume
+		opts.Subcell = *subcell
 		if *resume {
 			fmt.Fprintf(os.Stderr, "experiments: resuming from %s: %d cell(s) journaled\n",
 				*checkpointDir, store.Len())
 		}
 	} else if *resume {
 		fail(errors.New("-resume requires -checkpoint-dir"))
+	} else if *subcell {
+		fail(errors.New("-subcell requires -checkpoint-dir"))
+	} else if *cacheMax > 0 {
+		fail(errors.New("-cache-max-bytes requires -checkpoint-dir"))
 	}
 	opts.Retry = experiments.RetryPolicy{Attempts: *retries, Seed: opts.Seed}
 	opts.CellDeadline = *cellDeadline

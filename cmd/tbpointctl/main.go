@@ -129,8 +129,9 @@ func withJob(args []string, f func(id string) error) error {
 
 // statusLine renders a job as one parseable key=value line.
 func statusLine(st server.JobStatus) string {
-	return fmt.Sprintf("id=%s state=%s wall_seconds=%.3f cache_hits=%d cache_misses=%d cells_failed=%d requeues=%d error=%q",
-		st.ID, st.State, st.WallSeconds, st.CacheHits, st.CacheMisses, st.CellsFailed, st.Requeues, st.Error)
+	return fmt.Sprintf("id=%s state=%s wall_seconds=%.3f cache_hits=%d cache_misses=%d subcell_hits=%d subcell_misses=%d cells_failed=%d requeues=%d error=%q",
+		st.ID, st.State, st.WallSeconds, st.CacheHits, st.CacheMisses,
+		st.SubcellHits, st.SubcellMisses, st.CellsFailed, st.Requeues, st.Error)
 }
 
 func cmdSubmit(ctx context.Context, c *client.Client, args []string) error {
@@ -147,6 +148,8 @@ func cmdSubmit(ctx context.Context, c *client.Client, args []string) error {
 	cellDeadline := fs.Duration("cell-deadline", 0, "wall-time budget per grid cell")
 	deadline := fs.Duration("deadline", 0, "wall-time budget for the whole job")
 	noCache := fs.Bool("no-cache", false, "compute every cell fresh, ignoring the artifact cache")
+	clientName := fs.String("client", "", "tenant name for fair-share scheduling (empty = the shared anon queue)")
+	priority := fs.Int("priority", 0, "job priority 0..9: widens this client's dispatcher share, never starves others")
 	wait := fs.Bool("wait", false, "block until the job is terminal; print its status line")
 	fs.Parse(args)
 	if fs.NArg() == 0 {
@@ -164,6 +167,8 @@ func cmdSubmit(ctx context.Context, c *client.Client, args []string) error {
 		CellDeadline:  server.Duration(*cellDeadline),
 		Deadline:      server.Duration(*deadline),
 		NoCache:       *noCache,
+		Client:        *clientName,
+		Priority:      *priority,
 	}
 	if *bench != "" {
 		spec.Benchmarks = strings.Split(*bench, ",")

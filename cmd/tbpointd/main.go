@@ -31,6 +31,7 @@ func main() {
 	stateDir := flag.String("state-dir", "", "durable state directory: job journal, artifact cache, results (required)")
 	dispatchers := flag.Int("dispatchers", 2, "concurrent jobs (each job's grid cells share the -par budget)")
 	parN := flag.Int("par", 0, "shared worker budget for independent simulations (0 = GOMAXPROCS, 1 = sequential)")
+	cacheMax := flag.Int64("cache-max-bytes", 0, "artifact cache byte budget; LRU entries are evicted over it (0 = unbounded)")
 	paused := flag.Bool("paused", false, "accept and journal jobs without dispatching any (drain mode; a restart without -paused runs them)")
 	verbose := flag.Bool("v", false, "log per-job lifecycle events")
 	flag.Parse()
@@ -48,11 +49,12 @@ func main() {
 		logf = logger.Printf
 	}
 	d, err := server.Open(server.Config{
-		StateDir:    *stateDir,
-		Dispatchers: *dispatchers,
-		Paused:      *paused,
-		Metrics:     metrics.New(),
-		Logf:        logf,
+		StateDir:      *stateDir,
+		Dispatchers:   *dispatchers,
+		Paused:        *paused,
+		CacheMaxBytes: *cacheMax,
+		Metrics:       metrics.New(),
+		Logf:          logf,
 	})
 	if err != nil {
 		logger.Fatal(err)

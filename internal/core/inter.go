@@ -82,6 +82,12 @@ func InterLaunch(profiles []*funcsim.LaunchProfile, sigma float64) *InterResult 
 // accuracy at the cost of sample size), since launches with equal Eq. 2
 // features but different code paths no longer merge.
 func InterLaunchBBV(profiles []*funcsim.LaunchProfile, sigma float64) *InterResult {
+	return interLaunch(interFeaturesBBV(profiles), sigma)
+}
+
+// interFeaturesBBV builds the footnote-2 feature matrix: the Eq. 2 vectors
+// with each launch's normalised basic-block vector appended.
+func interFeaturesBBV(profiles []*funcsim.LaunchProfile) [][]float64 {
 	feats := InterFeatures(profiles)
 	dim := 0
 	for _, lp := range profiles {
@@ -100,7 +106,7 @@ func InterLaunchBBV(profiles []*funcsim.LaunchProfile, sigma float64) *InterResu
 		}
 		out[i] = append(append([]float64(nil), feats[i]...), bbv...)
 	}
-	return interLaunch(out, sigma)
+	return out
 }
 
 func interLaunch(feats [][]float64, sigma float64) *InterResult {

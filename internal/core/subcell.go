@@ -1,0 +1,226 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"tbpoint/internal/funcsim"
+	"tbpoint/internal/kernel"
+	"tbpoint/internal/metrics"
+)
+
+// ArtifactStore is the persistence seam of the sub-cell artifact cache;
+// *durable.Store satisfies it (and so does a nil one — both methods are
+// nil-safe no-ops there).
+type ArtifactStore interface {
+	Get(key string) ([]byte, bool)
+	Put(key string, data []byte) error
+}
+
+// Artifacts is the sub-cell artifact cache: whereas the experiment grids
+// checkpoint whole cells (one BenchResult per key), the pipeline's
+// expensive intermediates — the one-time functional profile, the
+// inter-launch feature matrix, the cluster assignment, and (at the
+// experiments layer) the full reference run — are each persisted under
+// their own key, derived from exactly the options that determine that
+// artifact. Two jobs whose grids overlap without being cell-identical
+// (different sampler set, different budget) then share the profiling phase
+// instead of re-simulating it.
+//
+// Key layout (all under one store, typically the job server's
+// <state-dir>/cache, so the -cache-max-bytes bound covers them):
+//
+//	subcell/v1/<kind>/<AppKey>[/<artifact-specific hash>]
+//
+// where AppKey identifies the built workload (benchmark name + a hash of
+// scale and seed) and each kind appends only the options that change its
+// bytes: the profile is hardware- and sampler-independent, the feature
+// matrix adds the BBV-extension flag, the cluster assignment adds sigma,
+// the full reference adds unit size and the simulator configuration.
+//
+// A nil *Artifacts (or one without a Store) disables the cache: every
+// helper falls back to the plain computation, bit-identically. Lookups are
+// validated — a decoded artifact whose shape does not match the live
+// workload counts as a miss and is recomputed — so a colliding or stale
+// key degrades to work, never to wrong results.
+type Artifacts struct {
+	// Store persists the artifacts (nil disables the cache).
+	Store ArtifactStore
+	// AppKey identifies the built workload every key is scoped to.
+	AppKey string
+	// Resume gates lookups: false computes everything fresh (publishing
+	// still happens, so later jobs benefit), matching the cell-level
+	// NoCache semantics.
+	Resume bool
+	// Metrics receives SubcellHits/SubcellMisses per lookup (via AtomicAdd,
+	// so a shared collector is safe). Nil disables counting.
+	Metrics *metrics.Collector
+}
+
+// Enabled reports whether the cache participates at all (a nil *Artifacts
+// is the disabled cache, like a nil store).
+func (a *Artifacts) Enabled() bool {
+	return a != nil && a.Store != nil && a.AppKey != ""
+}
+
+// Key builds a namespaced artifact key for kind, with optional extra
+// segments appended.
+func (a *Artifacts) Key(kind string, extra ...string) string {
+	key := fmt.Sprintf("subcell/v1/%s/%s", kind, a.AppKey)
+	for _, e := range extra {
+		key += "/" + e
+	}
+	return key
+}
+
+// Lookup decodes the artifact under key into out and runs valid (which
+// inspects out) before trusting it. Any failure — absent key, undecodable
+// payload, shape mismatch — is a miss: the caller recomputes. One
+// SubcellHits or SubcellMisses is counted per call; a cache that is
+// disabled or not resuming counts nothing.
+func (a *Artifacts) Lookup(key string, out interface{}, valid func() bool) bool {
+	if !a.Enabled() || !a.Resume {
+		return false
+	}
+	data, ok := a.Store.Get(key)
+	hit := ok && json.Unmarshal(data, out) == nil && (valid == nil || valid())
+	if hit {
+		a.Metrics.AtomicAdd(metrics.SubcellHits, 1)
+	} else {
+		a.Metrics.AtomicAdd(metrics.SubcellMisses, 1)
+	}
+	return hit
+}
+
+// Publish persists a freshly computed artifact. Publishing is best-effort:
+// a failed write (disk full, bound-eviction races) only costs future reuse,
+// and any real storage fault also surfaces through the fatal cell-journal
+// write that follows, so it is never silently lost on a healthy run.
+func (a *Artifacts) Publish(key string, v interface{}) {
+	if !a.Enabled() {
+		return
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	_ = a.Store.Put(key, data)
+}
+
+// profileArtifact is the cached form of the one-time functional profile —
+// the same counters WriteProfiles persists, revalidated on load exactly
+// like ReadProfiles (negative counters mean a damaged or colliding entry,
+// which must degrade to a recompute, not flow into predictions).
+type profileArtifact struct {
+	Launches []launchProfileFile `json:"launches"`
+}
+
+func (f profileArtifact) valid(app *kernel.App) bool {
+	if len(f.Launches) != len(app.Launches) {
+		return false
+	}
+	for _, lf := range f.Launches {
+		for _, p := range lf.Blocks {
+			if p.WarpInsts < 0 || p.ThreadInsts < 0 || p.MemRequests < 0 {
+				return false
+			}
+		}
+		for _, c := range lf.BlockCounts {
+			if c < 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ProfileAppArtifacts is ProfileAppMetrics with the one-time profile served
+// from (and published to) the sub-cell artifact cache. The profile is
+// hardware independent, so its key carries nothing beyond the workload
+// identity. A nil or disabled cache is exactly ProfileAppMetrics.
+func ProfileAppArtifacts(a *Artifacts, app *kernel.App, mc *metrics.Collector) *AppProfile {
+	if !a.Enabled() {
+		return ProfileAppMetrics(app, mc)
+	}
+	defer mc.StartPhase("core.profile").Stop()
+	key := a.Key("profile")
+	var f profileArtifact
+	if a.Lookup(key, &f, func() bool { return f.valid(app) }) {
+		profiles := make([]*funcsim.LaunchProfile, len(f.Launches))
+		for i, lf := range f.Launches {
+			profiles[i] = &funcsim.LaunchProfile{Blocks: lf.Blocks, BlockCounts: lf.BlockCounts}
+		}
+		return &AppProfile{App: app, Profiles: profiles}
+	}
+	prof := &AppProfile{App: app, Profiles: funcsim.ProfileApp(app)}
+	f = profileArtifact{Launches: make([]launchProfileFile, len(prof.Profiles))}
+	for i, lp := range prof.Profiles {
+		f.Launches[i] = launchProfileFile{Blocks: lp.Blocks, BlockCounts: lp.BlockCounts}
+	}
+	a.Publish(key, f)
+	return prof
+}
+
+// interFeatures computes the clustering feature matrix in the requested
+// mode (plain Eq. 2, or with the BBV extension appended).
+func interFeatures(profiles []*funcsim.LaunchProfile, bbv bool) [][]float64 {
+	if bbv {
+		return interFeaturesBBV(profiles)
+	}
+	return InterFeatures(profiles)
+}
+
+// clusterArtifact is the cached inter-launch cluster assignment — Assign,
+// Reps and NumClusters without the feature matrix (cached separately, since
+// the features do not depend on sigma).
+type clusterArtifact struct {
+	Assign      []int       `json:"assign"`
+	Reps        map[int]int `json:"reps"`
+	NumClusters int         `json:"numClusters"`
+}
+
+func (c clusterArtifact) valid(n int) bool {
+	if len(c.Assign) != n || c.NumClusters < 0 || len(c.Reps) == 0 {
+		return false
+	}
+	for _, cl := range c.Assign {
+		rep, ok := c.Reps[cl]
+		if !ok || rep < 0 || rep >= n {
+			return false
+		}
+	}
+	return true
+}
+
+// InterLaunchArtifacts is InterLaunch / InterLaunchBBV with the two
+// intermediates served from the sub-cell cache: the feature (BBV) matrix,
+// keyed by workload + mode, and the cluster assignment, keyed additionally
+// by sigma — so a sigma sweep reuses the features and a sampler-set change
+// reuses both. Go's float64 JSON round-trip is exact, so a cached matrix
+// clusters bit-identically to a recomputed one.
+func InterLaunchArtifacts(a *Artifacts, profiles []*funcsim.LaunchProfile, sigma float64, bbv bool) *InterResult {
+	if !a.Enabled() {
+		return interLaunch(interFeatures(profiles, bbv), sigma)
+	}
+	type featureArtifact struct {
+		Features [][]float64 `json:"features"`
+	}
+	mode := fmt.Sprintf("bbv=%v", bbv)
+	featKey := a.Key("features", mode)
+	var ff featureArtifact
+	var feats [][]float64
+	if a.Lookup(featKey, &ff, func() bool { return len(ff.Features) == len(profiles) }) {
+		feats = ff.Features
+	} else {
+		feats = interFeatures(profiles, bbv)
+		a.Publish(featKey, featureArtifact{Features: feats})
+	}
+	clKey := a.Key("cluster", mode, fmt.Sprintf("sigma=%g", sigma))
+	var cl clusterArtifact
+	if a.Lookup(clKey, &cl, func() bool { return cl.valid(len(profiles)) }) {
+		return &InterResult{Features: feats, Assign: cl.Assign, Reps: cl.Reps, NumClusters: cl.NumClusters}
+	}
+	res := interLaunch(feats, sigma)
+	a.Publish(clKey, clusterArtifact{Assign: res.Assign, Reps: res.Reps, NumClusters: res.NumClusters})
+	return res
+}

@@ -1,6 +1,7 @@
 package durable
 
 import (
+	"container/list"
 	"crypto/sha256"
 	"encoding/json"
 	"fmt"
@@ -41,6 +42,13 @@ type cellRecord struct {
 // A nil *Store is the disabled journal: Get always misses and Put is a
 // no-op, so callers thread a store through unconditionally. Get and Put are
 // safe for concurrent use by grid workers.
+//
+// SetMaxBytes turns the store into a bounded LRU cache: the on-disk bytes
+// of live entries are accounted per key, and writes that push the total
+// over the budget evict the least-recently-used entries (their files are
+// deleted). An evicted key simply misses again — callers recompute and
+// re-publish, which is exactly the checkpoint contract — so bounding the
+// store can cost work but never correctness.
 type Store struct {
 	dir string
 
@@ -54,6 +62,15 @@ type Store struct {
 	writes      int64
 	hits        int64
 	quarantined int
+
+	// Bounded-cache state: per-key on-disk size, total, budget (0 =
+	// unbounded), and the recency list (front = least recently used).
+	sizes     map[string]int64
+	curBytes  int64
+	maxBytes  int64
+	lru       *list.List               // of string keys
+	elems     map[string]*list.Element // key -> lru element
+	evictions int64
 }
 
 // Open creates (if needed) and scans a checkpoint directory. Unreadable
@@ -67,7 +84,13 @@ func Open(dir string) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{dir: dir, cells: map[string][]byte{}}
+	s := &Store{
+		dir:   dir,
+		cells: map[string][]byte{},
+		sizes: map[string]int64{},
+		lru:   list.New(),
+		elems: map[string]*list.Element{},
+	}
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ckptExt) {
@@ -85,8 +108,26 @@ func Open(dir string) (*Store, error) {
 			continue
 		}
 		s.cells[rec.Key] = rec.Data
+		if info, err := e.Info(); err == nil {
+			s.sizes[rec.Key] = info.Size()
+			s.curBytes += info.Size()
+		}
+	}
+	// Recency is unknowable across restarts; seed the LRU in sorted key
+	// order so eviction of pre-existing entries is deterministic.
+	for _, key := range sortedKeysLocked(s.cells) {
+		s.elems[key] = s.lru.PushBack(key)
 	}
 	return s, nil
+}
+
+func sortedKeysLocked(m map[string][]byte) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // quarantine renames a damaged checkpoint aside so it is preserved for
@@ -109,7 +150,8 @@ func fileName(key string) string {
 	return fmt.Sprintf("%x%s", sum[:16], ckptExt)
 }
 
-// Get returns the journaled data for key, if present.
+// Get returns the journaled data for key, if present. A hit refreshes the
+// key's recency, so a bounded store keeps its working set.
 func (s *Store) Get(key string) ([]byte, bool) {
 	if s == nil {
 		return nil, false
@@ -119,6 +161,9 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	data, ok := s.cells[key]
 	if ok {
 		s.hits++
+		if e := s.elems[key]; e != nil {
+			s.lru.MoveToBack(e)
+		}
 	}
 	return data, ok
 }
@@ -145,11 +190,60 @@ func (s *Store) Put(key string, data []byte) error {
 	if err := WriteEnvelopeFile(path, KindCheckpoint, rec); err != nil {
 		return err
 	}
+	var size int64
+	if info, err := os.Stat(path); err == nil {
+		size = info.Size()
+	}
 	s.mu.Lock()
 	s.cells[key] = append([]byte(nil), data...)
 	s.writes++
+	s.curBytes += size - s.sizes[key]
+	s.sizes[key] = size
+	if e := s.elems[key]; e != nil {
+		s.lru.MoveToBack(e)
+	} else {
+		s.elems[key] = s.lru.PushBack(key)
+	}
+	s.evictLocked()
 	s.mu.Unlock()
 	return nil
+}
+
+// evictLocked deletes least-recently-used entries until the store fits its
+// byte budget. Eviction only ever removes the live .ckpt file of an entry
+// this store owns — quarantined *.corrupt files are never touched, and a
+// concurrent Open that loses the race to a just-deleted file fails its
+// rename-aside, so an eviction can never masquerade as a quarantine.
+// Callers hold s.mu.
+func (s *Store) evictLocked() {
+	if s.maxBytes <= 0 {
+		return
+	}
+	for s.curBytes > s.maxBytes && s.lru.Len() > 0 {
+		key := s.lru.Remove(s.lru.Front()).(string)
+		// Best-effort file delete: WriteFile's rename made the entry a
+		// single file, so Remove is atomic; a missing file (a racing
+		// eviction or an external cleanup) leaves nothing to do.
+		os.Remove(filepath.Join(s.dir, fileName(key)))
+		s.curBytes -= s.sizes[key]
+		delete(s.cells, key)
+		delete(s.sizes, key)
+		delete(s.elems, key)
+		s.evictions++
+	}
+}
+
+// SetMaxBytes bounds the store's on-disk footprint (0 restores the
+// unbounded default). Entries already over the budget — e.g. a directory
+// inherited from an unbounded run — are evicted immediately.
+func (s *Store) SetMaxBytes(n int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.maxBytes = n
+	s.evictLocked()
 }
 
 // Keys returns every loadable cell key, sorted, so journal scans (the job
@@ -212,4 +306,24 @@ func (s *Store) Quarantined() int {
 		return 0
 	}
 	return s.quarantined
+}
+
+// SizeBytes returns the accounted on-disk bytes of the live entries.
+func (s *Store) SizeBytes() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.curBytes
+}
+
+// Evictions returns how many entries the byte budget has evicted.
+func (s *Store) Evictions() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evictions
 }

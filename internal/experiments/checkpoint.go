@@ -20,12 +20,14 @@ func (o Options) cellKey(grid, cell string, extra ...string) string {
 	fmt.Fprintf(h, "scale=%g seed=%d randfrac=%g unitdiv=%d min=%d max=%d simworkers=%d simquantum=%d",
 		o.Scale, o.Seed, o.RandomFrac, o.UnitDivisor, o.MinUnitInsts, o.MaxUnitInsts,
 		o.SimWorkers, o.SimQuantum)
-	// The TBPoint options carry a context and a metrics collector; zero
-	// them so only result-determining fields reach the hash (pointer
-	// values would also make the key differ across processes).
+	// The TBPoint options carry a context, a metrics collector and the
+	// sub-cell artifact cache; zero them so only result-determining fields
+	// reach the hash (pointer values would also make the key differ across
+	// processes).
 	tb := o.tbpointOptions()
 	tb.Ctx = nil
 	tb.Metrics = nil
+	tb.Artifacts = nil
 	fmt.Fprintf(h, " tb=%+v", tb)
 	// The active strategy selection determines every cell's result shape,
 	// so it is part of the key: a resume with a different -samplers set

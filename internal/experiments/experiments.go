@@ -82,6 +82,17 @@ type Options struct {
 	// with any changed input recomputes rather than trusting stale state.
 	Checkpoint *durable.Store
 	Resume     bool
+	// Subcell additionally shares the expensive intra-cell intermediates —
+	// one-time profile, inter-launch features and clustering, the full
+	// reference run — through Checkpoint at their own keys (see
+	// core.Artifacts), so runs whose grids overlap without being
+	// cell-identical still reuse the profiling phase. Lookups obey Resume;
+	// fresh computations are always published. Off by default: the one-shot
+	// CLI keeps its historical checkpoint-write counts (and the
+	// crash-injection accounting built on them) unless -subcell opts in,
+	// while the job server always enables it. Never changes results — a
+	// cached artifact round-trips byte-identically.
+	Subcell bool
 	// Retry governs per-cell retries before a failure degrades to a
 	// CellError; the zero value means a single attempt (no retries).
 	Retry RetryPolicy
@@ -344,10 +355,11 @@ func RunBenchmark(spec *workloads.Spec, cfg gpusim.Config, opts Options) (*Bench
 		defer opts.Metrics.Merge(mc)
 	}
 	app := spec.Build(workloads.Config{Scale: opts.Scale, Seed: opts.Seed})
-	prof := core.ProfileAppMetrics(app, mc)
+	arts := opts.artifacts(spec.Name, mc)
+	prof := core.ProfileAppArtifacts(arts, app, mc)
 	unit := opts.unitSize(app.TotalWarpInsts())
 
-	full := fullAppCtx(opts.Ctx, sim, app, unit, mc, opts.SimWorkers, opts.SimQuantum)
+	full := opts.fullReference(arts, sim, app, unit, mc, cfg)
 	if full.Aborted {
 		if err := ctxErr(opts.Ctx); err != nil {
 			return nil, err
@@ -368,6 +380,7 @@ func RunBenchmark(spec *workloads.Spec, cfg gpusim.Config, opts Options) (*Bench
 	tbopts := opts.tbpointOptions()
 	tbopts.Metrics = mc
 	tbopts.Ctx = opts.Ctx
+	tbopts.Artifacts = arts
 	in := sampler.Input{
 		Ctx:     opts.Ctx,
 		Sim:     sim,

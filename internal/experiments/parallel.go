@@ -151,11 +151,14 @@ func RunSensitivityParallel(opts Options) ([]SensResult, []CellError, error) {
 		if !needProfile[s.Name] {
 			continue
 		}
+		// The prep loop is sequential and owns opts.Metrics for its
+		// duration, so the artifact counters land on the grid collector.
+		arts := opts.artifacts(s.Name, opts.Metrics)
 		app := s.Build(workloads.Config{Scale: opts.Scale, Seed: opts.Seed})
-		prof := core.ProfileApp(app)
+		prof := core.ProfileAppArtifacts(arts, app, nil)
 		preps[s.Name] = &prep{
 			prof:  prof,
-			inter: core.InterLaunch(prof.Profiles, opts.tbpointOptions().SigmaInter),
+			inter: core.InterLaunchArtifacts(arts, prof.Profiles, opts.tbpointOptions().SigmaInter, false),
 		}
 	}
 	rec := &cellRecorder{grid: "sensitivity"}

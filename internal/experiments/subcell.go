@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"tbpoint/internal/core"
+	"tbpoint/internal/gpusim"
+	"tbpoint/internal/kernel"
+	"tbpoint/internal/metrics"
+	"tbpoint/internal/sampling"
+)
+
+// artifacts builds the per-benchmark sub-cell artifact cache handle, backed
+// by the run's checkpoint store (nil when sub-cell caching is off or there
+// is no store to persist into). The AppKey pins the built workload —
+// benchmark name in the clear for debuggability, plus a hash of the build
+// inputs — so artifacts can never leak across scales or seeds. mc receives
+// the hit/miss counters; per-benchmark collectors keep parallel grids
+// race-free, the same discipline as every other counter.
+func (o Options) artifacts(bench string, mc *metrics.Collector) *core.Artifacts {
+	if !o.Subcell || o.Checkpoint == nil {
+		return nil
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "scale=%g seed=%d", o.Scale, o.Seed)
+	return &core.Artifacts{
+		Store:   o.Checkpoint,
+		AppKey:  fmt.Sprintf("%s/%016x", bench, h.Sum64()),
+		Resume:  o.Resume,
+		Metrics: mc,
+	}
+}
+
+// fullReference is fullAppCtx with the full reference run served from the
+// sub-cell artifact cache. The reference dominates a benchmark cell's wall
+// time, so this is the artifact that makes an overlapping-but-non-identical
+// second job measurably faster. Its key folds in everything that changes
+// the run's bytes beyond the workload itself: the sampling-unit size, the
+// event-loop mode, and the full simulator configuration (the sensitivity
+// grid sweeps it). LaunchResult is all integer counters, so the JSON
+// round-trip is exact and a cache hit is byte-identical to a recompute.
+func (o Options) fullReference(a *core.Artifacts, sim *gpusim.Simulator, app *kernel.App,
+	unit int64, mc *metrics.Collector, cfg gpusim.Config) *sampling.AppRun {
+	if !a.Enabled() {
+		return fullAppCtx(o.Ctx, sim, app, unit, mc, o.SimWorkers, o.SimQuantum)
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "unit=%d workers=%d quantum=%d cfg=%+v", unit, o.SimWorkers, o.SimQuantum, cfg)
+	key := a.Key("fullref", fmt.Sprintf("%016x", h.Sum64()))
+	var run sampling.AppRun
+	ok := a.Lookup(key, &run, func() bool {
+		if run.Aborted || len(run.Launches) != len(app.Launches) {
+			return false
+		}
+		for _, l := range run.Launches {
+			if l == nil {
+				return false
+			}
+		}
+		return true
+	})
+	if ok {
+		return &run
+	}
+	full := fullAppCtx(o.Ctx, sim, app, unit, mc, o.SimWorkers, o.SimQuantum)
+	if !full.Aborted {
+		a.Publish(key, full)
+	}
+	return full
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"tbpoint/internal/durable"
+	"tbpoint/internal/gpusim"
+	"tbpoint/internal/metrics"
+	"tbpoint/internal/workloads"
+)
+
+// subcellOpts is a small accuracy configuration with the sub-cell artifact
+// cache enabled on the given store.
+func subcellOpts(t *testing.T, store *durable.Store, mc *metrics.Collector) Options {
+	t.Helper()
+	opts := DefaultOptions(0.02)
+	opts.Seed = 7
+	opts.Benchmarks = []string{"stream"}
+	opts.Checkpoint = store
+	opts.Subcell = true
+	opts.Resume = true
+	opts.Metrics = mc
+	return opts
+}
+
+func benchJSON(t *testing.T, r *BenchResult) []byte {
+	t.Helper()
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestSubcellCacheByteIdenticalReuse is the sub-cell cache's core contract:
+// a warm run over the same workload serves the profile, the clustering and
+// the full reference from the cache (nonzero subcell hits, no full-ref
+// simulation) and still produces a byte-identical BenchResult — both to its
+// own cold run and to a run with no cache at all.
+func TestSubcellCacheByteIdenticalReuse(t *testing.T) {
+	spec, err := workloads.ByName("stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := durable.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plain := subcellOpts(t, nil, nil)
+	plain.Subcell = false
+	base, err := RunBenchmark(spec, gpusim.DefaultConfig(), plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coldMC := metrics.New()
+	cold, err := RunBenchmark(spec, gpusim.DefaultConfig(), subcellOpts(t, store, coldMC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits := coldMC.Count(metrics.SubcellHits); hits != 0 {
+		t.Fatalf("cold run had %d subcell hits", hits)
+	}
+	if misses := coldMC.Count(metrics.SubcellMisses); misses == 0 {
+		t.Fatal("cold run recorded no subcell misses")
+	}
+
+	warmMC := metrics.New()
+	warm, err := RunBenchmark(spec, gpusim.DefaultConfig(), subcellOpts(t, store, warmMC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits := warmMC.Count(metrics.SubcellHits); hits == 0 {
+		t.Fatal("warm run recorded no subcell hits")
+	}
+	if misses := warmMC.Count(metrics.SubcellMisses); misses != 0 {
+		t.Fatalf("warm run missed %d artifacts", misses)
+	}
+	// The warm run must not have simulated the full reference: its only
+	// simulator work is the TBPoint representatives.
+	if launches := warmMC.Count(metrics.SimLaunches); launches >= coldMC.Count(metrics.SimLaunches) {
+		t.Fatalf("warm run simulated %d launches, cold %d — full ref not reused",
+			launches, coldMC.Count(metrics.SimLaunches))
+	}
+
+	baseJSON, coldJSON, warmJSON := benchJSON(t, base), benchJSON(t, cold), benchJSON(t, warm)
+	if !bytes.Equal(coldJSON, baseJSON) {
+		t.Error("cold cached run differs from uncached run")
+	}
+	if !bytes.Equal(warmJSON, coldJSON) {
+		t.Error("warm cached run differs from cold run")
+	}
+
+	// Artifacts live under the subcell/ namespace of the shared store.
+	var subcellKeys int
+	for _, k := range store.Keys() {
+		if strings.HasPrefix(k, "subcell/v1/") {
+			subcellKeys++
+		}
+	}
+	if subcellKeys == 0 {
+		t.Fatal("no subcell/v1 keys published")
+	}
+}
+
+// TestSubcellDisabledPublishesNothing pins the opt-in: a checkpointing run
+// without Subcell must not write artifact keys (the crash-injection CI
+// cases count checkpoint writes).
+func TestSubcellDisabledPublishesNothing(t *testing.T) {
+	spec, err := workloads.ByName("stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := durable.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := subcellOpts(t, store, nil)
+	opts.Subcell = false
+	if _, err := RunBenchmark(spec, gpusim.DefaultConfig(), opts); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range store.Keys() {
+		if strings.HasPrefix(k, "subcell/") {
+			t.Fatalf("subcell key %s published with Subcell off", k)
+		}
+	}
+}

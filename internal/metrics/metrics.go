@@ -121,9 +121,22 @@ const (
 	ExpCellRetries     // retry attempts beyond each cell's first
 	ExpCheckpointsSave // successful checkpoint journal writes
 
+	// Sub-cell artifact cache (internal/core + internal/experiments): the
+	// expensive per-benchmark intermediates — functional profile, inter-launch
+	// feature matrix, cluster assignment, full reference run — are each keyed
+	// by their own result-determining option hash and shared through the same
+	// durable store as the cell checkpoints, so two jobs whose grids overlap
+	// without being cell-identical still reuse the profiling phase. One
+	// hit/miss is counted per artifact lookup.
+	SubcellHits
+	SubcellMisses
+
 	// Job server (internal/server). Cache hits/misses count grid cells a
 	// job satisfied from / published into the shared artifact cache, so a
 	// second client requesting an overlapping grid shows up as hits.
+	// Subcell hits/misses aggregate the per-job sub-cell artifact lookups
+	// the same way, and evictions counts entries the bounded cache dropped
+	// to stay under its byte budget.
 	ServerJobsSubmitted
 	ServerJobsDone
 	ServerJobsFailed
@@ -131,6 +144,9 @@ const (
 	ServerJobsRequeued // non-terminal jobs re-queued when the daemon restarted
 	ServerCacheHits
 	ServerCacheMisses
+	ServerSubcellHits
+	ServerSubcellMisses
+	ServerCacheEvictions
 
 	// Estimation-strategy subsystem (internal/sampler, recorded by the
 	// experiments harness): how many strategy estimates ran per benchmark
@@ -194,13 +210,19 @@ var counterNames = [NumCounters]string{
 	ExpCellRetries:     "exp.cell_retries",
 	ExpCheckpointsSave: "exp.checkpoint_writes",
 
-	ServerJobsSubmitted: "server.jobs_submitted",
-	ServerJobsDone:      "server.jobs_done",
-	ServerJobsFailed:    "server.jobs_failed",
-	ServerJobsCancelled: "server.jobs_cancelled",
-	ServerJobsRequeued:  "server.jobs_requeued",
-	ServerCacheHits:     "server.cache_hits",
-	ServerCacheMisses:   "server.cache_misses",
+	SubcellHits:   "subcell.hits",
+	SubcellMisses: "subcell.misses",
+
+	ServerJobsSubmitted:  "server.jobs_submitted",
+	ServerJobsDone:       "server.jobs_done",
+	ServerJobsFailed:     "server.jobs_failed",
+	ServerJobsCancelled:  "server.jobs_cancelled",
+	ServerJobsRequeued:   "server.jobs_requeued",
+	ServerCacheHits:      "server.cache_hits",
+	ServerCacheMisses:    "server.cache_misses",
+	ServerSubcellHits:    "server.subcell_hits",
+	ServerSubcellMisses:  "server.subcell_misses",
+	ServerCacheEvictions: "server.cache_evictions",
 
 	SamplerEstimates:   "sampler.estimates",
 	SamplerStrata:      "sampler.strata",

@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strings"
 	"time"
@@ -179,11 +180,19 @@ func (c *Client) Events(ctx context.Context, id string, fn func(server.JobStatus
 }
 
 // Wait polls the job until it reaches a terminal state (or ctx dies) and
-// returns the final status. poll <= 0 selects 200ms.
+// returns the final status. poll <= 0 selects 200ms as the starting
+// interval; the interval then backs off exponentially to 16x the base with
+// +/-25% jitter, so many clients waiting on a loaded daemon spread their
+// polls instead of hammering it in lockstep. Cancellation is prompt: the
+// sleep is abandoned the moment ctx dies.
 func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (server.JobStatus, error) {
-	if poll <= 0 {
-		poll = 200 * time.Millisecond
+	base := poll
+	if base <= 0 {
+		base = 200 * time.Millisecond
 	}
+	maxDelay := 16 * base
+	delay := base
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
 	for {
 		st, err := c.Status(ctx, id)
 		if err != nil {
@@ -192,10 +201,17 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (serve
 		if st.State.Terminal() {
 			return st, nil
 		}
+		// Jitter the sleep into [3/4, 5/4] of the nominal delay.
+		sleep := 3*delay/4 + time.Duration(rng.Int63n(int64(delay/2)+1))
+		timer := time.NewTimer(sleep)
 		select {
 		case <-ctx.Done():
+			timer.Stop()
 			return st, ctx.Err()
-		case <-time.After(poll):
+		case <-timer.C:
+		}
+		if delay *= 2; delay > maxDelay {
+			delay = maxDelay
 		}
 	}
 }

@@ -1,0 +1,94 @@
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tbpoint/internal/server"
+	"tbpoint/internal/server/client"
+)
+
+// fakeDaemon serves GET /jobs/{id} with the status that state(n) returns
+// for the n-th poll (1-based), counting requests.
+func fakeDaemon(t *testing.T, polls *atomic.Int64, state func(n int64) server.JobState) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		n := polls.Add(1)
+		json.NewEncoder(w).Encode(server.JobStatus{ID: r.PathValue("id"), State: state(n)})
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestWaitReturnsOnTerminal: Wait polls until the daemon reports a terminal
+// state and returns it.
+func TestWaitReturnsOnTerminal(t *testing.T) {
+	var polls atomic.Int64
+	srv := fakeDaemon(t, &polls, func(n int64) server.JobState {
+		if n >= 3 {
+			return server.StateDone
+		}
+		return server.StateRunning
+	})
+	st, err := client.New(srv.URL).Wait(context.Background(), "j1", time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != server.StateDone {
+		t.Fatalf("state = %s, want done", st.State)
+	}
+	if n := polls.Load(); n != 3 {
+		t.Fatalf("polled %d times, want 3", n)
+	}
+}
+
+// TestWaitBacksOff: against a job that never finishes, the poll interval
+// must grow — a 10ms base over a ~1.5s window makes well under 40 requests
+// with exponential backoff (capped at 16x base), versus ~150 with fixed
+// polling. This is the thundering-herd guard for many clients waiting on a
+// loaded daemon.
+func TestWaitBacksOff(t *testing.T) {
+	var polls atomic.Int64
+	srv := fakeDaemon(t, &polls, func(int64) server.JobState { return server.StateRunning })
+	ctx, cancel := context.WithTimeout(context.Background(), 1500*time.Millisecond)
+	defer cancel()
+	if _, err := client.New(srv.URL).Wait(ctx, "j1", 10*time.Millisecond); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Wait returned %v, want deadline exceeded", err)
+	}
+	if n := polls.Load(); n > 40 {
+		t.Fatalf("polled %d times in 1.5s with 10ms base — backoff not applied", n)
+	}
+}
+
+// TestWaitCancelsPromptly: a cancelled context interrupts the backoff sleep
+// immediately, even when the interval has grown long.
+func TestWaitCancelsPromptly(t *testing.T) {
+	var polls atomic.Int64
+	srv := fakeDaemon(t, &polls, func(int64) server.JobState { return server.StateQueued })
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		// A 10s base would sleep far past the test timeout if cancellation
+		// had to wait the interval out.
+		_, err := client.New(srv.URL).Wait(ctx, "j1", 10*time.Second)
+		errc <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let Wait enter its first sleep
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Wait returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait did not return promptly after cancellation")
+	}
+}

@@ -34,9 +34,12 @@ func (d *Driver) nextJob() *Job {
 		if d.closed {
 			return nil
 		}
-		if !d.cfg.Paused && len(d.queue) > 0 {
-			id := d.queue[0]
-			d.queue = d.queue[1:]
+		if !d.cfg.Paused && d.sched.len() > 0 {
+			id, ok := d.sched.pop()
+			if !ok {
+				d.cond.Wait()
+				continue
+			}
 			j := d.jobs[id]
 			if j == nil || j.rec.State != StateQueued {
 				continue // cancelled while queued
@@ -64,9 +67,18 @@ func (d *Driver) nextJob() *Job {
 //     journal, not failed: the next process picks it up.
 func (d *Driver) runJob(j *Job) {
 	spec := j.rec.Spec
-	ctx, cancel := context.WithCancel(d.ctx)
+	// The run context layers the job deadline onto the driver's lifetime.
+	// Both cancel funcs must be retired — overwriting the first with the
+	// timeout's would leak its context until daemon shutdown.
+	runCtx, cancelRun := context.WithCancel(d.ctx)
+	ctx, cancel := runCtx, cancelRun
 	if spec.Deadline > 0 {
-		ctx, cancel = context.WithTimeout(d.ctx, time.Duration(spec.Deadline))
+		var cancelDeadline context.CancelFunc
+		ctx, cancelDeadline = context.WithTimeout(runCtx, time.Duration(spec.Deadline))
+		cancel = func() {
+			cancelDeadline()
+			cancelRun()
+		}
 	}
 	defer cancel()
 	jmc := metrics.New()
@@ -93,6 +105,7 @@ func (d *Driver) runJob(j *Job) {
 	opts.Metrics = jmc
 	opts.Checkpoint = d.cache
 	opts.Resume = !spec.NoCache
+	opts.Subcell = true
 	opts.Verbose = true
 	opts.Out = report
 
@@ -101,12 +114,17 @@ func (d *Driver) runJob(j *Job) {
 	wall := time.Since(start)
 
 	// Cache accounting: cells satisfied from the shared artifact cache vs
-	// computed (and published) fresh. Feed the per-job numbers into the
-	// server-wide counters the /metrics endpoint exposes.
+	// computed (and published) fresh, plus the finer sub-cell artifact
+	// lookups that hit across overlapping-but-non-identical jobs. Feed the
+	// per-job numbers into the server-wide counters /metrics exposes.
 	hits := jmc.Count(metrics.ExpCellsResumed)
 	misses := jmc.Count(metrics.ExpCellsExecuted)
+	subHits := jmc.Count(metrics.SubcellHits)
+	subMisses := jmc.Count(metrics.SubcellMisses)
 	d.mc.AtomicAdd(metrics.ServerCacheHits, hits)
 	d.mc.AtomicAdd(metrics.ServerCacheMisses, misses)
+	d.mc.AtomicAdd(metrics.ServerSubcellHits, subHits)
+	d.mc.AtomicAdd(metrics.ServerSubcellMisses, subMisses)
 
 	// Persist the results bundle before the state flips to done: a client
 	// that observes "done" must be able to fetch the result. The bundle is
@@ -119,10 +137,13 @@ func (d *Driver) runJob(j *Job) {
 
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.syncCacheMetricsLocked()
 	j.cancel = nil
 	j.rec.WallSeconds = wall.Seconds()
 	j.rec.CacheHits = hits
 	j.rec.CacheMisses = misses
+	j.rec.SubcellHits = subHits
+	j.rec.SubcellMisses = subMisses
 	j.rec.CellsFailed = jmc.Count(metrics.ExpCellsFailed)
 	j.rec.Aborted = bundle.Aborted
 	switch {

@@ -39,8 +39,15 @@ type Config struct {
 	// any; a later restart without Paused drains the queue. (Operationally:
 	// drain-and-upgrade. In CI: the deterministic queue-restart case.)
 	Paused bool
+	// CacheMaxBytes bounds the artifact cache's on-disk footprint: writes
+	// over the budget evict least-recently-used entries (counted as
+	// server.cache_evictions). Evicted cells and artifacts recompute on
+	// their next use — the bound trades work, never correctness. 0 keeps
+	// the cache unbounded.
+	CacheMaxBytes int64
 	// Metrics receives the server-wide counters (server.jobs_*,
-	// server.cache_hits/misses). Nil disables them.
+	// server.cache_hits/misses, server.subcell_hits/misses,
+	// server.cache_evictions). Nil disables them.
 	Metrics *metrics.Collector
 	// Logf receives operational log lines (nil discards them).
 	Logf func(format string, args ...interface{})
@@ -58,7 +65,7 @@ type Job struct {
 	done       chan struct{} // closed when the job reaches a terminal state
 }
 
-// Driver owns job lifecycle: submission, validation, the FIFO queue,
+// Driver owns job lifecycle: submission, validation, the fair-share queue,
 // per-job deadlines and cancellation, durable journaling, and restart
 // recovery. Execution itself belongs to the dispatchers (dispatcher.go).
 type Driver struct {
@@ -74,11 +81,15 @@ type Driver struct {
 	mu     sync.Mutex
 	cond   *sync.Cond // wakes idle dispatchers on submit/close
 	jobs   map[string]*Job
-	order  []string // all known job IDs, submission order
-	queue  []string // queued job IDs, FIFO
+	order  []string  // all known job IDs, submission order
+	sched  *drrSched // queued job IDs, per-client DRR (see sched.go)
 	nextID int
 	closed bool
 	wg     sync.WaitGroup
+	// evictionsSeen is the cache eviction count already rolled into the
+	// server-wide counter (the store counts monotonically, the driver
+	// publishes deltas).
+	evictionsSeen int64
 }
 
 // Open loads (or creates) the server state under cfg.StateDir, re-queues
@@ -109,11 +120,19 @@ func Open(cfg Config) (*Driver, error) {
 		cache:      cache,
 		resultsDir: resultsDir,
 		jobs:       map[string]*Job{},
+		sched:      newDRRSched(),
 	}
 	d.cond = sync.NewCond(&d.mu)
 	d.ctx, d.cancel = context.WithCancel(context.Background())
 	if q := journal.Quarantined() + cache.Quarantined(); q > 0 {
 		d.logf("quarantined %d corrupted state file(s) in %s", q, cfg.StateDir)
+	}
+	if cfg.CacheMaxBytes > 0 {
+		// Bound the cache now: a directory inherited from an unbounded (or
+		// larger-budget) daemon is trimmed before any job runs, and the
+		// startup evictions are published like any others.
+		cache.SetMaxBytes(cfg.CacheMaxBytes)
+		d.syncCacheMetricsLocked()
 	}
 
 	// Reload the journal. Keys() is sorted and IDs are zero-padded, so
@@ -151,7 +170,7 @@ func Open(cfg Config) (*Driver, error) {
 		if err := d.persistLocked(j); err != nil {
 			return nil, err
 		}
-		d.queue = append(d.queue, id)
+		d.sched.push(j.rec.Spec.clientKey(), id, j.rec.Spec.Priority)
 		d.mc.AtomicAdd(metrics.ServerJobsRequeued, 1)
 		d.logf("requeued job %s (restart %d)", id, j.rec.Requeues)
 	}
@@ -211,10 +230,10 @@ func (d *Driver) Submit(spec JobSpec) (JobStatus, error) {
 	}
 	d.jobs[id] = job
 	d.order = append(d.order, id)
-	d.queue = append(d.queue, id)
+	d.sched.push(spec.clientKey(), id, spec.Priority)
 	d.mc.AtomicAdd(metrics.ServerJobsSubmitted, 1)
-	d.logf("job %s submitted: targets=%v scale=%g seed=%d bench=%v",
-		id, spec.Targets, spec.Scale, spec.Seed, spec.Benchmarks)
+	d.logf("job %s submitted: client=%s targets=%v scale=%g seed=%d bench=%v",
+		id, spec.clientKey(), spec.Targets, spec.Scale, spec.Seed, spec.Benchmarks)
 	d.cond.Broadcast()
 	return job.rec.status(), nil
 }
@@ -289,6 +308,8 @@ func (d *Driver) statusLocked(j *Job) JobStatus {
 			st.WallSeconds = time.Since(j.started).Seconds()
 			st.CacheHits = j.mc.Count(metrics.ExpCellsResumed)
 			st.CacheMisses = j.mc.Count(metrics.ExpCellsExecuted)
+			st.SubcellHits = j.mc.Count(metrics.SubcellHits)
+			st.SubcellMisses = j.mc.Count(metrics.SubcellMisses)
 			st.CellsFailed = j.mc.Count(metrics.ExpCellsFailed)
 		}
 		st.Phases = j.mc.Snapshot().Phases
@@ -368,13 +389,29 @@ func (d *Driver) Report(id string) (string, error) {
 	return j.report.String(), nil
 }
 
+// syncCacheMetricsLocked folds cache evictions that happened since the last
+// sync into the server-wide counter. Callers hold d.mu (or, in Open, have
+// exclusive access).
+func (d *Driver) syncCacheMetricsLocked() {
+	if ev := d.cache.Evictions(); ev > d.evictionsSeen {
+		d.mc.AtomicAdd(metrics.ServerCacheEvictions, uint64(ev-d.evictionsSeen))
+		d.evictionsSeen = ev
+	}
+}
+
 // Metrics snapshots the server-wide collector.
 func (d *Driver) Metrics() metrics.Snapshot {
+	d.mu.Lock()
+	d.syncCacheMetricsLocked()
+	d.mu.Unlock()
 	return d.mc.Snapshot()
 }
 
 // CacheLen reports how many artifact-cache cells are loaded.
 func (d *Driver) CacheLen() int { return d.cache.Len() }
+
+// CacheSizeBytes reports the artifact cache's accounted on-disk footprint.
+func (d *Driver) CacheSizeBytes() int64 { return d.cache.SizeBytes() }
 
 // Close shuts the driver down: running jobs are aborted and re-queued in
 // the journal (the restart contract treats a graceful stop like a crash —

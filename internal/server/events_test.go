@@ -1,0 +1,85 @@
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"tbpoint/internal/server"
+)
+
+// noFlush hides the http.Flusher the recorder would otherwise expose — the
+// shape of a middleware-wrapped ResponseWriter.
+type noFlush struct{ http.ResponseWriter }
+
+// TestEventsTolerateNonFlusherWriter: the NDJSON stream must degrade
+// gracefully (buffered, no per-line flush) behind a ResponseWriter that is
+// not an http.Flusher, instead of panicking or skipping events. The final
+// line still carries the terminal state.
+func TestEventsTolerateNonFlusherWriter(t *testing.T) {
+	d := openDriver(t, server.Config{StateDir: t.TempDir(), Paused: true, Logf: t.Logf})
+	st, err := d.Submit(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Cancel(st.ID); err != nil { // terminal: the stream ends after one line
+		t.Fatal(err)
+	}
+
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodGet, "/jobs/"+st.ID+"/events", nil)
+	d.Handler().ServeHTTP(noFlush{rec}, req)
+
+	lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
+	if len(lines) == 0 || lines[len(lines)-1] == "" {
+		t.Fatalf("no events streamed, body %q", rec.Body.String())
+	}
+	var last server.JobStatus
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatalf("decoding final event %q: %v", lines[len(lines)-1], err)
+	}
+	if last.State != server.StateCancelled {
+		t.Fatalf("final event state = %s, want cancelled", last.State)
+	}
+}
+
+// TestEventsStopOnClientDisconnect: a client that goes away mid-stream
+// (request context cancelled) releases the handler promptly instead of
+// ticking against a dead connection until the job ends — which, for this
+// paused queued job, would be never.
+func TestEventsStopOnClientDisconnect(t *testing.T) {
+	d := openDriver(t, server.Config{StateDir: t.TempDir(), Paused: true, Logf: t.Logf})
+	st, err := d.Submit(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest(http.MethodGet, "/jobs/"+st.ID+"/events", nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	returned := make(chan struct{})
+	go func() {
+		d.Handler().ServeHTTP(rec, req)
+		close(returned)
+	}()
+
+	time.Sleep(50 * time.Millisecond) // let the first event go out
+	cancel()
+	select {
+	case <-returned:
+	case <-time.After(5 * time.Second):
+		t.Fatal("events handler still running after client disconnect")
+	}
+	var first server.JobStatus
+	line := strings.SplitN(strings.TrimSpace(rec.Body.String()), "\n", 2)[0]
+	if err := json.Unmarshal([]byte(line), &first); err != nil {
+		t.Fatalf("decoding first event %q: %v", line, err)
+	}
+	if first.State != server.StateQueued {
+		t.Fatalf("first event state = %s, want queued", first.State)
+	}
+}

@@ -104,6 +104,24 @@ type JobSpec struct {
 	// from the artifact cache. Completed cells are still published to the
 	// cache for later jobs.
 	NoCache bool `json:"no_cache,omitempty"`
+	// Client names the submitting tenant for fair-share scheduling: each
+	// client owns a FIFO queue and the dispatchers round-robin across
+	// clients, so one tenant flooding the daemon cannot starve another.
+	// Empty selects the shared "anon" queue.
+	Client string `json:"client,omitempty"`
+	// Priority widens this job's share of dispatcher visits (0 = normal ..
+	// MaxPriority = 10x). It never reorders jobs within a client — FIFO per
+	// client is part of the restart contract — and never starves other
+	// clients (see sched.go).
+	Priority int `json:"priority,omitempty"`
+}
+
+// clientKey is the fair-share queue this spec's jobs land on.
+func (s JobSpec) clientKey() string {
+	if s.Client == "" {
+		return "anon"
+	}
+	return s.Client
 }
 
 // Validate normalizes defaults in place and rejects specs that could never
@@ -142,6 +160,12 @@ func (s *JobSpec) Validate() error {
 	}
 	if s.Deadline < 0 || s.CellDeadline < 0 {
 		return fmt.Errorf("server: negative deadline")
+	}
+	if len(s.Client) > 64 {
+		return fmt.Errorf("server: client name longer than 64 bytes")
+	}
+	if s.Priority < 0 || s.Priority > MaxPriority {
+		return fmt.Errorf("server: priority must be in [0, %d], got %d", MaxPriority, s.Priority)
 	}
 	return nil
 }
@@ -208,6 +232,12 @@ type JobStatus struct {
 	// of the job's collector).
 	CacheHits   uint64 `json:"cache_hits"`
 	CacheMisses uint64 `json:"cache_misses"`
+	// SubcellHits / SubcellMisses count the finer-grained artifact lookups
+	// (functional profile, feature matrix, clustering, full reference) —
+	// these hit even when whole cells differ, e.g. two jobs over the same
+	// workload with different sampler sets.
+	SubcellHits   uint64 `json:"subcell_hits,omitempty"`
+	SubcellMisses uint64 `json:"subcell_misses,omitempty"`
 	// CellsFailed counts cells that degraded to CellError entries.
 	CellsFailed uint64 `json:"cells_failed,omitempty"`
 	// Aborted mirrors the results bundle's aborted flag.
@@ -224,34 +254,38 @@ type JobStatus struct {
 // daemon restart. Live-only data (the collector, the cancel func) stays on
 // the in-memory Job.
 type jobRecord struct {
-	ID          string    `json:"id"`
-	Spec        JobSpec   `json:"spec"`
-	State       JobState  `json:"state"`
-	SubmittedAt time.Time `json:"submitted_at"`
-	StartedAt   time.Time `json:"started_at,omitzero"`
-	FinishedAt  time.Time `json:"finished_at,omitzero"`
-	Error       string    `json:"error,omitempty"`
-	Requeues    int       `json:"requeues,omitempty"`
-	CacheHits   uint64    `json:"cache_hits,omitempty"`
-	CacheMisses uint64    `json:"cache_misses,omitempty"`
-	CellsFailed uint64    `json:"cells_failed,omitempty"`
-	Aborted     bool      `json:"aborted,omitempty"`
-	WallSeconds float64   `json:"wall_seconds,omitempty"`
+	ID            string    `json:"id"`
+	Spec          JobSpec   `json:"spec"`
+	State         JobState  `json:"state"`
+	SubmittedAt   time.Time `json:"submitted_at"`
+	StartedAt     time.Time `json:"started_at,omitzero"`
+	FinishedAt    time.Time `json:"finished_at,omitzero"`
+	Error         string    `json:"error,omitempty"`
+	Requeues      int       `json:"requeues,omitempty"`
+	CacheHits     uint64    `json:"cache_hits,omitempty"`
+	CacheMisses   uint64    `json:"cache_misses,omitempty"`
+	SubcellHits   uint64    `json:"subcell_hits,omitempty"`
+	SubcellMisses uint64    `json:"subcell_misses,omitempty"`
+	CellsFailed   uint64    `json:"cells_failed,omitempty"`
+	Aborted       bool      `json:"aborted,omitempty"`
+	WallSeconds   float64   `json:"wall_seconds,omitempty"`
 }
 
 func (r jobRecord) status() JobStatus {
 	st := JobStatus{
-		ID:          r.ID,
-		State:       r.State,
-		Spec:        r.Spec,
-		SubmittedAt: r.SubmittedAt,
-		Error:       r.Error,
-		Requeues:    r.Requeues,
-		CacheHits:   r.CacheHits,
-		CacheMisses: r.CacheMisses,
-		CellsFailed: r.CellsFailed,
-		Aborted:     r.Aborted,
-		WallSeconds: r.WallSeconds,
+		ID:            r.ID,
+		State:         r.State,
+		Spec:          r.Spec,
+		SubmittedAt:   r.SubmittedAt,
+		Error:         r.Error,
+		Requeues:      r.Requeues,
+		CacheHits:     r.CacheHits,
+		CacheMisses:   r.CacheMisses,
+		SubcellHits:   r.SubcellHits,
+		SubcellMisses: r.SubcellMisses,
+		CellsFailed:   r.CellsFailed,
+		Aborted:       r.Aborted,
+		WallSeconds:   r.WallSeconds,
 	}
 	if !r.StartedAt.IsZero() {
 		t := r.StartedAt

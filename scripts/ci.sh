@@ -38,6 +38,16 @@
 #           output; kill -9 the daemon with a queued job and prove the
 #           restart runs it; overlap a second job and prove the artifact
 #           cache serves it (nonzero cache_hits, lower wall time)
+#   serveload multi-tenant hardening under load: a race-built daemon with a
+#           byte-bounded cache (-cache-max-bytes) takes a flooding client's
+#           queue plus a small client's single job; the dispatch log must
+#           show the small tenant served within one round (no starvation),
+#           the cache directory must stay under its budget with
+#           server.cache_evictions counted, and an overlapping-but-non-
+#           identical job (same workload, wider sampler set) must reuse the
+#           profiling phase (subcell_hits > 0, less wall time than a
+#           -no-cache run) while its results.json stays byte-identical to
+#           the one-shot CLI
 #   bench   cmd/benchgate re-measures throughput against BENCH_gpusim.json
 #           (advisory by default; BENCH_HARD=1 makes drops fail; per-case
 #           thresholds come from the report's gate_thresholds section)
@@ -55,7 +65,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-ALL_STAGES=(fmt vet build test race chaos fuzz golden samplers parsm serve bench)
+ALL_STAGES=(fmt vet build test race chaos fuzz golden samplers parsm serve serveload bench)
 
 stage() {
   local name="$1"
@@ -350,6 +360,136 @@ run_serve() {
   )
 }
 
+run_serveload() {
+  # Multi-tenant serving under load, with real binaries. Three guarantees:
+  # fair-share dispatch (the flooding tenant cannot starve the small one),
+  # the bounded artifact cache (directory under -cache-max-bytes, evictions
+  # counted, results still correct), and sub-cell reuse (an overlapping but
+  # non-identical job skips the profiling phase). The in-process half —
+  # concurrent HTTP clients, the deterministic DRR properties, the
+  # cancel-at-pickup race — runs first under the race detector.
+  (
+  local tmp
+  tmp=$(mktemp -d)
+  # shellcheck disable=SC2064
+  trap "{ cat '$tmp'/*.pid 2>/dev/null | xargs -r kill 2>/dev/null; } || true; rm -rf '$tmp'" EXIT
+
+  go test -race -count=1 \
+    -run 'TestServeLoad|TestSubcellReuse|TestCancelAtDispatchPickup|TestSched|TestWait' \
+    ./internal/server/...
+
+  go build -race -o "$tmp/tbpointd" ./cmd/tbpointd
+  go build -o "$tmp/tbpointctl" ./cmd/tbpointctl
+  go build -o "$tmp/experiments" ./cmd/experiments
+  local args=(-scale 0.02 -bench stream)
+  # One job's artifacts weigh ~250KB; a 768KB budget holds ~3 of the 4
+  # submitted jobs, forcing evictions while keeping the newest artifacts
+  # resident for the sub-cell reuse phase.
+  local budget=$((768 * 1024))
+
+  # Phase 1 — fair share + bounded cache. Submissions land on a paused
+  # daemon so the whole multi-tenant queue exists before dispatch begins
+  # (and the requeue path is re-proved under a DRR queue); the restarted
+  # single-dispatcher daemon then interleaves the tenants.
+  "$tmp/tbpointd" -addr 127.0.0.1:0 -addr-file "$tmp/addr1" \
+    -state-dir "$tmp/state" -paused -v >"$tmp/daemon1.log" 2>&1 &
+  echo $! >"$tmp/d1.pid"
+  disown
+  wait_file "$tmp/addr1"
+  export TBPOINTD_ADDR="http://$(cat "$tmp/addr1")"
+  local floods=() seed job small
+  for seed in 101 102 103; do
+    job=$("$tmp/tbpointctl" submit -client flood -seed "$seed" "${args[@]}" accuracy)
+    floods+=("$job")
+  done
+  small=$("$tmp/tbpointctl" submit -client small -seed 7 "${args[@]}" accuracy)
+  kill -9 "$(cat "$tmp/d1.pid")"
+  rm -f "$tmp/d1.pid"
+
+  "$tmp/tbpointd" -addr 127.0.0.1:0 -addr-file "$tmp/addr2" \
+    -state-dir "$tmp/state" -dispatchers 1 -cache-max-bytes "$budget" \
+    -v >"$tmp/daemon2.log" 2>&1 &
+  echo $! >"$tmp/d2.pid"
+  disown
+  wait_file "$tmp/addr2"
+  export TBPOINTD_ADDR="http://$(cat "$tmp/addr2")"
+  local line
+  for job in "${floods[@]}" "$small"; do
+    line=$("$tmp/tbpointctl" wait -poll 50ms "$job")
+    [[ "$(field "$line" state)" == "done" ]] || {
+      echo "serveload: job $job failed under load: $line" >&2
+      cat "$tmp/daemon2.log" >&2
+      return 1
+    }
+  done
+  artifact "$tmp/daemon2.log" serveload_daemon.log
+
+  # No starvation: despite three flood jobs queued ahead of it, the small
+  # tenant's job must be dispatched within the first round — first or
+  # second pickup in the daemon's own dispatch log.
+  grep -o 'picked up job [^ ]*' "$tmp/daemon2.log" | head -2 | grep -q "$small" || {
+    echo "serveload: small tenant not dispatched within one round:" >&2
+    grep 'picked up job' "$tmp/daemon2.log" >&2
+    return 1
+  }
+
+  # Bounded cache: evictions happened and the directory respects the
+  # budget.
+  "$tmp/tbpointctl" metrics >"$tmp/server_metrics.json"
+  artifact "$tmp/server_metrics.json" serveload_metrics.json
+  grep -q '"server.cache_evictions": [1-9]' "$tmp/server_metrics.json" || {
+    echo "serveload: no cache evictions under a $budget-byte budget:" >&2
+    grep '"server\.' "$tmp/server_metrics.json" >&2 || true
+    return 1
+  }
+  find "$tmp/state/cache" -name '*.ckpt' -printf '%s\n' \
+    | awk -v max="$budget" '{s += $1} END { exit !(s <= max) }' || {
+    echo "serveload: cache directory exceeds the $budget-byte budget" >&2
+    du -sb "$tmp/state/cache" >&2
+    return 1
+  }
+
+  # Phase 2 — sub-cell reuse: same workload as the small tenant's job but a
+  # wider sampler set. The cell key differs (no whole-cell hit) yet the
+  # profiling/clustering/full-reference artifacts must hit, beating the
+  # same spec computed cold with -no-cache — and the bytes must equal the
+  # one-shot CLI's.
+  local warm cold wline cline
+  warm=$("$tmp/tbpointctl" submit -client other -seed 7 -samplers all "${args[@]}" accuracy)
+  wline=$("$tmp/tbpointctl" wait -poll 50ms "$warm")
+  [[ "$(field "$wline" state)" == "done" && "$(field "$wline" cache_hits)" -eq 0 ]] || {
+    echo "serveload: warm job should recompute its cell (different samplers): $wline" >&2
+    return 1
+  }
+  [[ "$(field "$wline" subcell_hits)" -gt 0 ]] || {
+    echo "serveload: overlapping job reused no sub-cell artifacts: $wline" >&2
+    return 1
+  }
+  cold=$("$tmp/tbpointctl" submit -client other -seed 7 -samplers all -no-cache "${args[@]}" accuracy)
+  cline=$("$tmp/tbpointctl" wait -poll 50ms "$cold")
+  [[ "$(field "$cline" state)" == "done" ]] || {
+    echo "serveload: cold baseline job failed: $cline" >&2
+    return 1
+  }
+  awk -v warm="$(field "$wline" wall_seconds)" -v cold="$(field "$cline" wall_seconds)" \
+      'BEGIN { exit !(warm < cold) }' || {
+    echo "serveload: artifact reuse saved no wall time (warm $wline vs cold $cline)" >&2
+    return 1
+  }
+  "$tmp/experiments" -par 1 -scale 0.02 -seed 7 -bench stream -samplers all \
+    -json "$tmp/oneshot_all.json" accuracy >/dev/null
+  "$tmp/tbpointctl" result -o "$tmp/warm.json" "$warm"
+  artifact "$tmp/warm.json" serveload_warm.json
+  cmp "$tmp/oneshot_all.json" "$tmp/warm.json" || {
+    echo "serveload: artifact-reusing job's results.json differs from the one-shot output" >&2
+    return 1
+  }
+
+  kill "$(cat "$tmp/d2.pid")" 2>/dev/null || true
+  rm -f "$tmp/d2.pid"
+  )
+}
+
 run_samplers() {
   # The sampler registry end to end: the package's own suite first, then
   # cmd/experiments driving the registry — the byte-identity contract
@@ -440,6 +580,7 @@ run_stage() {
     samplers) stage samplers run_samplers ;;
     parsm)  stage parsm run_parsm ;;
     serve)  stage serve run_serve ;;
+    serveload) stage serveload run_serveload ;;
     bench)  stage bench run_bench ;;
     *)      echo "ci.sh: unknown stage '$1' (known: ${ALL_STAGES[*]})" >&2
             return 2 ;;
