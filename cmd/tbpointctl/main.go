@@ -33,7 +33,8 @@ commands:
   result [-o file] <id>        download the job's results.json
   report <id>                  print the job's report text
   cancel <id>                  cancel a job
-  list                         print a status line per job
+  list [-state s]              print a status line per job (optionally only
+                               state s, e.g. quarantined)
   metrics                      print the server metrics snapshot (JSON)`)
 	os.Exit(2)
 }
@@ -96,14 +97,7 @@ func main() {
 			return nil
 		})
 	case "list":
-		jobs, lerr := c.Jobs(ctx)
-		if lerr != nil {
-			err = lerr
-			break
-		}
-		for _, st := range jobs {
-			fmt.Println(statusLine(st))
-		}
+		err = cmdList(ctx, c, args)
 	case "metrics":
 		data, merr := c.Metrics(ctx)
 		if merr != nil {
@@ -127,11 +121,31 @@ func withJob(args []string, f func(id string) error) error {
 	return f(args[0])
 }
 
-// statusLine renders a job as one parseable key=value line.
+// statusLine renders a job as one parseable key=value line. failure_kind is
+// empty for healthy jobs and error|panic|stuck|quarantined for failed ones,
+// so scripts can tell a supervision verdict from an ordinary run error.
 func statusLine(st server.JobStatus) string {
-	return fmt.Sprintf("id=%s state=%s wall_seconds=%.3f cache_hits=%d cache_misses=%d subcell_hits=%d subcell_misses=%d cells_failed=%d requeues=%d error=%q",
+	return fmt.Sprintf("id=%s state=%s wall_seconds=%.3f cache_hits=%d cache_misses=%d subcell_hits=%d subcell_misses=%d cells_failed=%d requeues=%d run_requeues=%d failure_kind=%s error=%q",
 		st.ID, st.State, st.WallSeconds, st.CacheHits, st.CacheMisses,
-		st.SubcellHits, st.SubcellMisses, st.CellsFailed, st.Requeues, st.Error)
+		st.SubcellHits, st.SubcellMisses, st.CellsFailed, st.Requeues,
+		st.RunRequeues, st.FailureKind(), st.Error)
+}
+
+func cmdList(ctx context.Context, c *client.Client, args []string) error {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	state := fs.String("state", "", "only jobs in this state (e.g. quarantined, failed, done)")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		return fmt.Errorf("list: unexpected args %v", fs.Args())
+	}
+	jobs, err := c.JobsInState(ctx, server.JobState(*state))
+	if err != nil {
+		return err
+	}
+	for _, st := range jobs {
+		fmt.Println(statusLine(st))
+	}
+	return nil
 }
 
 func cmdSubmit(ctx context.Context, c *client.Client, args []string) error {
@@ -150,6 +164,7 @@ func cmdSubmit(ctx context.Context, c *client.Client, args []string) error {
 	noCache := fs.Bool("no-cache", false, "compute every cell fresh, ignoring the artifact cache")
 	clientName := fs.String("client", "", "tenant name for fair-share scheduling (empty = the shared anon queue)")
 	priority := fs.Int("priority", 0, "job priority 0..9: widens this client's dispatcher share, never starves others")
+	fault := fs.String("fault", "", "chaos fault injection: panic, stuck or crash (daemon must run -chaos)")
 	wait := fs.Bool("wait", false, "block until the job is terminal; print its status line")
 	fs.Parse(args)
 	if fs.NArg() == 0 {
@@ -169,6 +184,7 @@ func cmdSubmit(ctx context.Context, c *client.Client, args []string) error {
 		NoCache:       *noCache,
 		Client:        *clientName,
 		Priority:      *priority,
+		Fault:         *fault,
 	}
 	if *bench != "" {
 		spec.Benchmarks = strings.Split(*bench, ",")

@@ -33,6 +33,12 @@ func main() {
 	parN := flag.Int("par", 0, "shared worker budget for independent simulations (0 = GOMAXPROCS, 1 = sequential)")
 	cacheMax := flag.Int64("cache-max-bytes", 0, "artifact cache byte budget; LRU entries are evicted over it (0 = unbounded)")
 	paused := flag.Bool("paused", false, "accept and journal jobs without dispatching any (drain mode; a restart without -paused runs them)")
+	maxRequeues := flag.Int("max-requeues", server.DefaultMaxRequeues, "quarantine a job after this many requeues-while-running across restarts (-1 = never)")
+	stuckAfter := flag.Duration("stuck-after", 0, "fail a running job as stuck when its progress stalls this long (0 = watchdog off)")
+	maxQueued := flag.Int("max-queued", 0, "reject submissions with 429 past this many queued jobs (0 = unbounded)")
+	maxQueuedClient := flag.Int("max-queued-client", 0, "per-client queued-job bound, rejected with 429 (0 = unbounded)")
+	drainTimeout := flag.Duration("drain-timeout", 0, "force-exit nonzero if graceful shutdown exceeds this (0 = wait forever)")
+	chaos := flag.Bool("chaos", false, "honor JobSpec fault injection (panic/stuck/crash) — supervision test rigs only")
 	verbose := flag.Bool("v", false, "log per-job lifecycle events")
 	flag.Parse()
 
@@ -49,12 +55,20 @@ func main() {
 		logf = logger.Printf
 	}
 	d, err := server.Open(server.Config{
-		StateDir:      *stateDir,
-		Dispatchers:   *dispatchers,
-		Paused:        *paused,
-		CacheMaxBytes: *cacheMax,
-		Metrics:       metrics.New(),
-		Logf:          logf,
+		StateDir:           *stateDir,
+		Dispatchers:        *dispatchers,
+		Paused:             *paused,
+		CacheMaxBytes:      *cacheMax,
+		MaxRequeues:        *maxRequeues,
+		StuckAfter:         *stuckAfter,
+		MaxQueued:          *maxQueued,
+		MaxQueuedPerClient: *maxQueuedClient,
+		Chaos:              *chaos,
+		// A chaos crash is a real process death: exit without running any
+		// deferred cleanup, exactly like kill -9 minus the signal.
+		CrashFn: func() { os.Exit(3) },
+		Metrics: metrics.New(),
+		Logf:    logf,
 	})
 	if err != nil {
 		logger.Fatal(err)
@@ -76,12 +90,30 @@ func main() {
 	logger.Printf("listening on http://%s (state %s, %d dispatchers%s)",
 		ln.Addr(), *stateDir, *dispatchers, mode)
 
-	srv := &http.Server{Handler: d.Handler()}
+	// ReadHeaderTimeout bounds a client that connects and never finishes its
+	// request line (slowloris); IdleTimeout reaps keep-alive connections so
+	// an abandoned client pool cannot pin the listener's fd budget.
+	srv := &http.Server{
+		Handler:           d.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {
 		<-ctx.Done()
 		logger.Printf("shutting down")
+		if *drainTimeout > 0 {
+			// The drain deadline is the supervisor's contract: past it the
+			// process exits nonzero rather than hanging. Close re-queues
+			// in-flight jobs in the journal first, so nothing is lost — the
+			// next process picks them up.
+			time.AfterFunc(*drainTimeout, func() {
+				logger.Printf("drain timeout (%s) exceeded, forcing exit", *drainTimeout)
+				d.Close()
+				os.Exit(1)
+			})
+		}
 		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		srv.Shutdown(shCtx)

@@ -137,11 +137,22 @@ const (
 	// Subcell hits/misses aggregate the per-job sub-cell artifact lookups
 	// the same way, and evictions counts entries the bounded cache dropped
 	// to stay under its byte budget.
+	// The supervision counters (jobs_panicked/stuck/quarantined,
+	// admission_rejects, dispatcher_restarts) observe the containment
+	// layer: a panicking job is recovered and its dispatcher slot
+	// restarted, a wedged job is cancelled by the stuck watchdog, a
+	// crash-looping job is quarantined at journal replay, and an
+	// over-limit submission is rejected with 429 rather than queued.
 	ServerJobsSubmitted
 	ServerJobsDone
 	ServerJobsFailed
 	ServerJobsCancelled
-	ServerJobsRequeued // non-terminal jobs re-queued when the daemon restarted
+	ServerJobsRequeued    // non-terminal jobs re-queued when the daemon restarted
+	ServerJobsPanicked    // jobs terminally failed by a recovered panic
+	ServerJobsStuck       // jobs terminally failed by the stuck watchdog
+	ServerJobsQuarantined // jobs dead-lettered by the requeue cap at replay
+	ServerAdmissionRejects
+	ServerDispatcherRestarts // dispatcher slots restarted after a contained panic
 	ServerCacheHits
 	ServerCacheMisses
 	ServerSubcellHits
@@ -213,16 +224,21 @@ var counterNames = [NumCounters]string{
 	SubcellHits:   "subcell.hits",
 	SubcellMisses: "subcell.misses",
 
-	ServerJobsSubmitted:  "server.jobs_submitted",
-	ServerJobsDone:       "server.jobs_done",
-	ServerJobsFailed:     "server.jobs_failed",
-	ServerJobsCancelled:  "server.jobs_cancelled",
-	ServerJobsRequeued:   "server.jobs_requeued",
-	ServerCacheHits:      "server.cache_hits",
-	ServerCacheMisses:    "server.cache_misses",
-	ServerSubcellHits:    "server.subcell_hits",
-	ServerSubcellMisses:  "server.subcell_misses",
-	ServerCacheEvictions: "server.cache_evictions",
+	ServerJobsSubmitted:      "server.jobs_submitted",
+	ServerJobsDone:           "server.jobs_done",
+	ServerJobsFailed:         "server.jobs_failed",
+	ServerJobsCancelled:      "server.jobs_cancelled",
+	ServerJobsRequeued:       "server.jobs_requeued",
+	ServerJobsPanicked:       "server.jobs_panicked",
+	ServerJobsStuck:          "server.jobs_stuck",
+	ServerJobsQuarantined:    "server.jobs_quarantined",
+	ServerAdmissionRejects:   "server.admission_rejects",
+	ServerDispatcherRestarts: "server.dispatcher_restarts",
+	ServerCacheHits:          "server.cache_hits",
+	ServerCacheMisses:        "server.cache_misses",
+	ServerSubcellHits:        "server.subcell_hits",
+	ServerSubcellMisses:      "server.subcell_misses",
+	ServerCacheEvictions:     "server.cache_evictions",
 
 	SamplerEstimates:   "sampler.estimates",
 	SamplerStrata:      "sampler.strata",

@@ -9,10 +9,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -30,8 +32,27 @@ func New(base string) *Client {
 	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
 }
 
+// APIError is a non-2xx daemon response: the HTTP status, the decoded
+// {"error": ...} message, and — for 429 admission rejections — the server's
+// Retry-After hint, which Submit's backoff honors.
+type APIError struct {
+	Status     int
+	Message    string
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("%s (HTTP %d)", e.Message, e.Status)
+	}
+	return fmt.Sprintf("HTTP %d", e.Status)
+}
+
+// Overloaded reports whether the error is the daemon shedding load (429).
+func (e *APIError) Overloaded() bool { return e.Status == http.StatusTooManyRequests }
+
 // do issues one request and decodes the JSON response into out (unless out
-// is nil). Non-2xx responses are decoded as {"error": ...}.
+// is nil). Non-2xx responses come back as *APIError.
 func (c *Client) do(ctx context.Context, method, path string, body, out interface{}) error {
 	var rd io.Reader
 	if body != nil {
@@ -58,13 +79,19 @@ func (c *Client) do(ctx context.Context, method, path string, body, out interfac
 		return err
 	}
 	if resp.StatusCode/100 != 2 {
+		ae := &APIError{Status: resp.StatusCode}
 		var e struct {
 			Error string `json:"error"`
 		}
 		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			return fmt.Errorf("%s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
+			ae.Message = fmt.Sprintf("%s %s: %s", method, path, e.Error)
+		} else {
+			ae.Message = fmt.Sprintf("%s %s", method, path)
 		}
-		return fmt.Errorf("%s %s: HTTP %d", method, path, resp.StatusCode)
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			ae.RetryAfter = time.Duration(secs) * time.Second
+		}
+		return ae
 	}
 	if out == nil {
 		return nil
@@ -81,11 +108,42 @@ func (c *Client) Health(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
 }
 
-// Submit posts a job spec and returns the accepted job's status.
+// submitBackoffBase seeds Submit's retry backoff when the daemon sheds load.
+const submitBackoffBase = 250 * time.Millisecond
+
+// Submit posts a job spec and returns the accepted job's status. A 429
+// admission rejection is not terminal: the daemon's queue is momentarily
+// full, so Submit sleeps — at least the server's Retry-After hint, at least
+// the jittered exponential backoff, whichever is longer — and retries until
+// the job is accepted or ctx dies. Every other error returns immediately.
 func (c *Client) Submit(ctx context.Context, spec server.JobSpec) (server.JobStatus, error) {
-	var st server.JobStatus
-	err := c.do(ctx, http.MethodPost, "/jobs", spec, &st)
-	return st, err
+	delay := submitBackoffBase
+	maxDelay := 16 * submitBackoffBase
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	for {
+		var st server.JobStatus
+		err := c.do(ctx, http.MethodPost, "/jobs", spec, &st)
+		var ae *APIError
+		if err == nil || !errors.As(err, &ae) || !ae.Overloaded() {
+			return st, err
+		}
+		// Jitter into [3/4, 5/4] of the nominal delay, then honor the
+		// server's hint if it asks for longer.
+		sleep := 3*delay/4 + time.Duration(rng.Int63n(int64(delay/2)+1))
+		if ae.RetryAfter > sleep {
+			sleep = ae.RetryAfter
+		}
+		timer := time.NewTimer(sleep)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return st, fmt.Errorf("%w (last rejection: %w)", ctx.Err(), ae)
+		case <-timer.C:
+		}
+		if delay *= 2; delay > maxDelay {
+			delay = maxDelay
+		}
+	}
 }
 
 // Status fetches one job's status.
@@ -97,9 +155,41 @@ func (c *Client) Status(ctx context.Context, id string) (server.JobStatus, error
 
 // Jobs lists every job the daemon knows about.
 func (c *Client) Jobs(ctx context.Context) ([]server.JobStatus, error) {
+	return c.JobsInState(ctx, "")
+}
+
+// JobsInState lists the daemon's jobs filtered to one state ("" = all),
+// e.g. server.StateQuarantined for the dead-letter queue.
+func (c *Client) JobsInState(ctx context.Context, state server.JobState) ([]server.JobStatus, error) {
+	path := "/jobs"
+	if state != "" {
+		path += "?state=" + string(state)
+	}
 	var jobs []server.JobStatus
-	err := c.do(ctx, http.MethodGet, "/jobs", nil, &jobs)
+	err := c.do(ctx, http.MethodGet, path, nil, &jobs)
 	return jobs, err
+}
+
+// Ready probes GET /readyz; ok=false carries the daemon's reason (or the
+// transport error if the probe itself failed).
+func (c *Client) Ready(ctx context.Context) (bool, string) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/readyz", nil)
+	if err != nil {
+		return false, err.Error()
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return false, err.Error()
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Ready  bool   `json:"ready"`
+		Reason string `json:"reason"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return false, fmt.Sprintf("decoding readyz response: %v (HTTP %d)", err, resp.StatusCode)
+	}
+	return body.Ready, body.Reason
 }
 
 // Cancel cancels a job.

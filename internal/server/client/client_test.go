@@ -6,6 +6,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -90,5 +91,87 @@ func TestWaitCancelsPromptly(t *testing.T) {
 		}
 	case <-time.After(2 * time.Second):
 		t.Fatal("Wait did not return promptly after cancellation")
+	}
+}
+
+// overloadedDaemon 429s the first `rejects` POST /jobs requests (with the
+// given Retry-After header, if any), then accepts with 202.
+func overloadedDaemon(t *testing.T, rejects int64, retryAfter string) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var posts atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		if posts.Add(1) <= rejects {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(map[string]string{"error": "job queue is full"})
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(server.JobStatus{ID: "j1", State: server.StateQueued})
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv, &posts
+}
+
+// TestSubmitRetriesOverload: a 429 admission rejection is retried with
+// backoff until the daemon accepts — the caller sees only the eventual
+// success.
+func TestSubmitRetriesOverload(t *testing.T) {
+	srv, posts := overloadedDaemon(t, 2, "")
+	st, err := client.New(srv.URL).Submit(context.Background(), server.JobSpec{Targets: []string{"accuracy"}})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if st.ID != "j1" || st.State != server.StateQueued {
+		t.Fatalf("accepted status = %+v", st)
+	}
+	if n := posts.Load(); n != 3 {
+		t.Fatalf("POSTed %d times, want 3 (two rejections, one acceptance)", n)
+	}
+}
+
+// TestSubmitHonorsRetryAfter: the server's Retry-After hint stretches the
+// backoff — with a 2s hint and a 300ms context, Submit must still be
+// sleeping (not hammering the daemon) when the context dies, and the error
+// reports both the timeout and the last rejection.
+func TestSubmitHonorsRetryAfter(t *testing.T) {
+	srv, posts := overloadedDaemon(t, 1<<30, "2")
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	_, err := client.New(srv.URL).Submit(ctx, server.JobSpec{Targets: []string{"accuracy"}})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Submit returned %v, want deadline exceeded", err)
+	}
+	var ae *client.APIError
+	if !errors.As(err, &ae) || !ae.Overloaded() || ae.RetryAfter != 2*time.Second {
+		t.Fatalf("error %v does not carry the parsed 429 rejection (got %+v)", err, ae)
+	}
+	// One initial attempt, zero retries: the 2s hint outlives the context.
+	if n := posts.Load(); n != 1 {
+		t.Fatalf("POSTed %d times inside a 2s Retry-After window, want exactly 1", n)
+	}
+}
+
+// TestSubmitSurfacesOtherErrors: only 429 is retried; a 400 comes straight
+// back as a typed APIError.
+func TestSubmitSurfacesOtherErrors(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(map[string]string{"error": "negative scale"})
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	_, err := client.New(srv.URL).Submit(context.Background(), server.JobSpec{Targets: []string{"accuracy"}})
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusBadRequest || ae.Overloaded() {
+		t.Fatalf("Submit returned %v, want a 400 APIError", err)
+	}
+	if !strings.Contains(ae.Message, "negative scale") {
+		t.Fatalf("message %q lost the server's error text", ae.Message)
 	}
 }

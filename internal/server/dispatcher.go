@@ -2,17 +2,26 @@ package server
 
 import (
 	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
 	"time"
 
 	"tbpoint/internal/experiments"
 	"tbpoint/internal/metrics"
 )
 
-// dispatcherLoop is one dispatcher: it owns at most one simulator run at a
-// time, pulling queued jobs from the driver until shutdown. Several
+// dispatcherLoop is one dispatcher slot: it owns at most one simulator run
+// at a time, pulling queued jobs from the driver until shutdown. Several
 // dispatchers run concurrent jobs; their grid cells all share the
 // internal/par worker budget, so adding dispatchers trades per-job latency
 // for queue throughput without oversubscribing the machine.
+//
+// The slot is supervised: a panic that unwinds out of a job's run is
+// recovered by runContained — the job fails terminally with its panic and
+// stack recorded — and the slot itself is restarted with a fresh goroutine
+// (server.dispatcher_restarts), so a panicking job costs the daemon one
+// goroutine stack, never a dispatcher.
 func (d *Driver) dispatcherLoop(i int) {
 	defer d.wg.Done()
 	for {
@@ -21,8 +30,50 @@ func (d *Driver) dispatcherLoop(i int) {
 			return
 		}
 		d.logf("dispatcher %d picked up job %s", i, j.rec.ID)
-		d.runJob(j)
+		if !d.runContained(i, j) {
+			// The run panicked. The deferred recovery already failed the
+			// job; restart the slot on a clean stack so whatever state the
+			// unwound frames left behind cannot leak into the next job.
+			d.mu.Lock()
+			if !d.closed {
+				d.wg.Add(1)
+				go d.dispatcherLoop(i)
+			}
+			d.mu.Unlock()
+			return
+		}
 	}
+}
+
+// runContained runs one job under the panic-containment contract: a panic
+// anywhere in the run path is recovered, recorded as a structured
+// JobFailure{panic, stack} on the job record, and turned into the terminal
+// failed(panic) verdict; ok reports whether the slot is still clean.
+func (d *Driver) runContained(i int, j *Job) (ok bool) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		ok = false
+		stack := string(debug.Stack())
+		d.mc.AtomicAdd(metrics.ServerJobsPanicked, 1)
+		d.mc.AtomicAdd(metrics.ServerDispatcherRestarts, 1)
+		d.logf("dispatcher %d: job %s panicked: %v", i, j.rec.ID, r)
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		j.cancel = nil
+		j.cancelCause = nil
+		if j.rec.State.Terminal() {
+			// The panic escaped after the verdict (e.g. inside a journal
+			// write); the job's outcome stands, only the slot restarts.
+			return
+		}
+		j.rec.Failure = &JobFailure{Kind: FailurePanic, Panic: fmt.Sprint(r), Stack: stack}
+		d.finishLocked(j, StateFailed, fmt.Sprintf("panic: %v", r))
+	}()
+	d.runJob(j)
+	return true
 }
 
 // nextJob blocks until a queued job is available (skipping jobs cancelled
@@ -34,17 +85,21 @@ func (d *Driver) nextJob() *Job {
 		if d.closed {
 			return nil
 		}
-		if !d.cfg.Paused && d.sched.len() > 0 {
-			id, ok := d.sched.pop()
-			if !ok {
-				d.cond.Wait()
-				continue
+		if !d.paused {
+			// Drain the scheduler past jobs cancelled while queued without
+			// waiting in between: a cancelled entry at the head must not
+			// absorb the wakeup meant for a live job behind it, and every
+			// wake re-checks closed/paused from the top so a pause flipped
+			// mid-drain parks the dispatcher instead of spinning.
+			for d.sched.len() > 0 {
+				id, ok := d.sched.pop()
+				if !ok {
+					break
+				}
+				if j := d.jobs[id]; j != nil && j.rec.State == StateQueued {
+					return j
+				}
 			}
-			j := d.jobs[id]
-			if j == nil || j.rec.State != StateQueued {
-				continue // cancelled while queued
-			}
-			return j
 		}
 		d.cond.Wait()
 	}
@@ -55,7 +110,9 @@ func (d *Driver) nextJob() *Job {
 //
 //   - the run's context is a child of the driver's, with the job deadline
 //     layered on, so both Cancel and Close abort it at the next cell
-//     boundary;
+//     boundary; the stuck watchdog cancels the same context with the
+//     ErrStuck cause, which is what distinguishes failed(stuck) from a
+//     user cancel or a shutdown requeue;
 //   - the artifact cache is attached as the run's checkpoint store with
 //     Resume on (unless the spec opts out), so cells another job already
 //     computed are resumed, not re-simulated;
@@ -68,16 +125,18 @@ func (d *Driver) nextJob() *Job {
 func (d *Driver) runJob(j *Job) {
 	spec := j.rec.Spec
 	// The run context layers the job deadline onto the driver's lifetime.
-	// Both cancel funcs must be retired — overwriting the first with the
+	// WithCancelCause lets the watchdog leave its verdict on the context;
+	// both cancel funcs must be retired — overwriting the first with the
 	// timeout's would leak its context until daemon shutdown.
-	runCtx, cancelRun := context.WithCancel(d.ctx)
-	ctx, cancel := runCtx, cancelRun
+	runCtx, cancelRun := context.WithCancelCause(d.ctx)
+	var cancel context.CancelFunc = func() { cancelRun(nil) }
+	ctx := context.Context(runCtx)
 	if spec.Deadline > 0 {
 		var cancelDeadline context.CancelFunc
 		ctx, cancelDeadline = context.WithTimeout(runCtx, time.Duration(spec.Deadline))
 		cancel = func() {
 			cancelDeadline()
-			cancelRun()
+			cancelRun(nil)
 		}
 	}
 	defer cancel()
@@ -92,13 +151,31 @@ func (d *Driver) runJob(j *Job) {
 	j.rec.State = StateRunning
 	j.rec.StartedAt = time.Now().UTC()
 	j.cancel = cancel
+	j.cancelCause = cancelRun
 	j.mc = jmc
 	j.report = report
 	j.started = time.Now()
+	j.progress = progressMark{} // fresh watchdog window for this run
 	if err := d.persistLocked(j); err != nil {
 		d.logf("journaling %s -> running failed: %v", j.rec.ID, err)
 	}
 	d.mu.Unlock()
+
+	// The chaos seam (Config.Chaos only): deterministic job-level faults
+	// for the supervision suites. A panic here unwinds into runContained;
+	// a wedge parks until some supervisor (watchdog, cancel, shutdown)
+	// cancels the run context; a crash fires the driver's Crash injector
+	// (os.Exit under tbpointd — the quarantine proof's real process death).
+	if d.cfg.Chaos {
+		switch spec.Fault {
+		case FaultPanic:
+			panic(fmt.Sprintf("chaos: injected panic in job %s", j.rec.ID))
+		case FaultStuck:
+			<-ctx.Done()
+		case FaultCrash:
+			d.crashInj.Fire()
+		}
+	}
 
 	opts := spec.options()
 	opts.Ctx = ctx
@@ -139,6 +216,7 @@ func (d *Driver) runJob(j *Job) {
 	defer d.mu.Unlock()
 	d.syncCacheMetricsLocked()
 	j.cancel = nil
+	j.cancelCause = nil
 	j.rec.WallSeconds = wall.Seconds()
 	j.rec.CacheHits = hits
 	j.rec.CacheMisses = misses
@@ -151,6 +229,12 @@ func (d *Driver) runJob(j *Job) {
 		d.finishLocked(j, StateFailed, runErr.Error())
 	case bundle.Aborted && j.userCancel:
 		d.finishLocked(j, StateCancelled, "cancelled")
+	case bundle.Aborted && errors.Is(context.Cause(runCtx), ErrStuck):
+		// The watchdog's verdict: the run was cancelled for making no
+		// progress. Terminal — a wedged job re-queued would wedge again.
+		j.rec.Failure = &JobFailure{Kind: FailureStuck}
+		d.mc.AtomicAdd(metrics.ServerJobsStuck, 1)
+		d.finishLocked(j, StateFailed, ErrStuck.Error())
 	case bundle.Aborted && d.closed:
 		// Daemon shutdown, not a verdict on the job: back to the queue for
 		// the next process. Cells completed before the abort are in the

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"tbpoint/internal/durable"
+	"tbpoint/internal/faultcheck"
 	"tbpoint/internal/metrics"
 )
 
@@ -21,6 +22,39 @@ var ErrNotFound = errors.New("server: no such job")
 
 // ErrShutdown reports an operation on a closed driver.
 var ErrShutdown = errors.New("server: driver is shut down")
+
+// ErrOverloaded reports an admission-control rejection: the queue bound
+// (global or per-client) is reached and the submission was refused rather
+// than accepted into an unbounded backlog. The HTTP layer maps it to
+// 429 + Retry-After; the client retries it inside its backoff.
+var ErrOverloaded = errors.New("server: job queue is full")
+
+// OverloadError carries the admission-rejection details: which bound was
+// hit and how long the submitter should wait before retrying. It wraps
+// ErrOverloaded.
+type OverloadError struct {
+	// Scope is "global" or the client name whose per-client bound was hit.
+	Scope string
+	// Queued and Limit are the bound's observed occupancy and cap.
+	Queued, Limit int
+	// RetryAfter is the server's backoff hint (the Retry-After header).
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("server: job queue is full (%s: %d queued >= limit %d), retry after %s",
+		e.Scope, e.Queued, e.Limit, e.RetryAfter)
+}
+
+func (e *OverloadError) Unwrap() error { return ErrOverloaded }
+
+// DefaultMaxRequeues is the poison-job quarantine cap: a job observed
+// running across more than this many daemon deaths is dead-lettered at
+// replay instead of requeued.
+const DefaultMaxRequeues = 3
+
+// admissionRetryAfter is the backoff hint attached to 429 rejections.
+const admissionRetryAfter = time.Second
 
 // jobKeyPrefix namespaces job records inside the journal store.
 const jobKeyPrefix = "job/"
@@ -38,7 +72,40 @@ type Config struct {
 	// Paused makes the driver accept and journal jobs without dispatching
 	// any; a later restart without Paused drains the queue. (Operationally:
 	// drain-and-upgrade. In CI: the deterministic queue-restart case.)
+	// SetPaused flips the mode at runtime.
 	Paused bool
+	// MaxRequeues is the poison-job quarantine cap: a job whose journal
+	// record shows it was *running* across more than MaxRequeues daemon
+	// deaths is moved to StateQuarantined at replay instead of requeued
+	// (0 selects DefaultMaxRequeues; negative disables quarantine).
+	// Requeues of merely queued jobs never count — those deaths are not
+	// the job's doing.
+	MaxRequeues int
+	// StuckAfter arms the stuck-job watchdog: a running job whose
+	// progress fingerprint (per-phase timings + counters of its live
+	// collector) has not changed for at least this long has its run
+	// context cancelled with ErrStuck and fails terminally as stuck,
+	// freeing the dispatcher. 0 (the default) disables the watchdog.
+	StuckAfter time.Duration
+	// StuckPoll overrides the watchdog's sampling cadence (0 selects
+	// StuckAfter/4, clamped to >= 10ms). A stuck job is detected within
+	// StuckAfter + one poll interval.
+	StuckPoll time.Duration
+	// MaxQueued bounds the number of queued jobs across all clients:
+	// submissions past it are rejected with ErrOverloaded (HTTP 429 +
+	// Retry-After) instead of growing the backlog without bound. 0 keeps
+	// the queue unbounded. Running jobs do not count against the bound.
+	MaxQueued int
+	// MaxQueuedPerClient bounds each tenant's own queue the same way, so
+	// one client cannot consume the whole global budget. 0 = unbounded.
+	MaxQueuedPerClient int
+	// Chaos honors JobSpec.Fault injection (panic/stuck/crash) for the
+	// chaos suites and the serve CI stage. Never enable in production.
+	Chaos bool
+	// CrashFn is what a Fault:"crash" job's injector does (tbpointd passes
+	// os.Exit so the daemon dies for real; nil panics, which the
+	// containment layer then records). Only consulted under Chaos.
+	CrashFn func()
 	// CacheMaxBytes bounds the artifact cache's on-disk footprint: writes
 	// over the budget evict least-recently-used entries (counted as
 	// server.cache_evictions). Evicted cells and artifacts recompute on
@@ -56,13 +123,15 @@ type Config struct {
 // Job is the driver's in-memory view of one job: the journaled record plus
 // live-only state (the collector, the cancel func, the report buffer).
 type Job struct {
-	rec        jobRecord
-	mc         *metrics.Collector
-	cancel     context.CancelFunc
-	userCancel bool
-	started    time.Time
-	report     *syncBuffer
-	done       chan struct{} // closed when the job reaches a terminal state
+	rec         jobRecord
+	mc          *metrics.Collector
+	cancel      context.CancelFunc
+	cancelCause context.CancelCauseFunc // cancels the run with a cause (the watchdog's ErrStuck)
+	userCancel  bool
+	started     time.Time
+	report      *syncBuffer
+	done        chan struct{} // closed when the job reaches a terminal state
+	progress    progressMark  // the watchdog's last fingerprint observation
 }
 
 // Driver owns job lifecycle: submission, validation, the fair-share queue,
@@ -78,12 +147,17 @@ type Driver struct {
 	ctx    context.Context // dies at Close; parent of every job context
 	cancel context.CancelFunc
 
+	// crashInj fires a Fault:"crash" job's process death (see Config.Chaos
+	// / CrashFn) — faultcheck's Crash mode, armed only on chaos drivers.
+	crashInj *faultcheck.Injector
+
 	mu     sync.Mutex
 	cond   *sync.Cond // wakes idle dispatchers on submit/close
 	jobs   map[string]*Job
 	order  []string  // all known job IDs, submission order
 	sched  *drrSched // queued job IDs, per-client DRR (see sched.go)
 	nextID int
+	paused bool // runtime dispatch gate, seeded from Config.Paused
 	closed bool
 	wg     sync.WaitGroup
 	// evictionsSeen is the cache eviction count already rolled into the
@@ -121,9 +195,16 @@ func Open(cfg Config) (*Driver, error) {
 		resultsDir: resultsDir,
 		jobs:       map[string]*Job{},
 		sched:      newDRRSched(),
+		paused:     cfg.Paused,
 	}
 	d.cond = sync.NewCond(&d.mu)
 	d.ctx, d.cancel = context.WithCancel(context.Background())
+	if cfg.Chaos {
+		d.crashInj = faultcheck.Always(faultcheck.Crash)
+		if cfg.CrashFn != nil {
+			d.crashInj.WithCrashFn(cfg.CrashFn)
+		}
+	}
 	if q := journal.Quarantined() + cache.Quarantined(); q > 0 {
 		d.logf("quarantined %d corrupted state file(s) in %s", q, cfg.StateDir)
 	}
@@ -159,13 +240,40 @@ func Open(cfg Config) (*Driver, error) {
 			d.nextID = n
 		}
 	}
+	maxRequeues := cfg.MaxRequeues
+	if maxRequeues == 0 {
+		maxRequeues = DefaultMaxRequeues
+	}
 	for _, id := range d.order {
 		j := d.jobs[id]
 		if j.rec.State.Terminal() {
 			continue
 		}
-		j.rec.State = StateQueued
+		wasRunning := j.rec.State == StateRunning
 		j.rec.Requeues++
+		if wasRunning {
+			j.rec.RunRequeues++
+		}
+		// Poison-job quarantine: a job the daemon died under more than
+		// maxRequeues times is dead-lettered here, at replay — the one
+		// place every crash-loop necessarily passes through — with its
+		// history preserved and no dispatch ever attempted again.
+		if maxRequeues >= 0 && j.rec.RunRequeues > maxRequeues {
+			j.rec.State = StateQuarantined
+			j.rec.StartedAt = time.Time{}
+			j.rec.FinishedAt = time.Now().UTC()
+			j.rec.Error = fmt.Sprintf("quarantined: daemon died under this job %d times (cap %d)",
+				j.rec.RunRequeues, maxRequeues)
+			j.rec.Failure = &JobFailure{Kind: FailureQuarantined}
+			if err := d.persistLocked(j); err != nil {
+				return nil, err
+			}
+			close(j.done)
+			d.mc.AtomicAdd(metrics.ServerJobsQuarantined, 1)
+			d.logf("job %s quarantined after %d crash requeues", id, j.rec.RunRequeues)
+			continue
+		}
+		j.rec.State = StateQueued
 		j.rec.StartedAt = time.Time{}
 		if err := d.persistLocked(j); err != nil {
 			return nil, err
@@ -182,6 +290,10 @@ func Open(cfg Config) (*Driver, error) {
 	for i := 0; i < n; i++ {
 		d.wg.Add(1)
 		go d.dispatcherLoop(i)
+	}
+	if cfg.StuckAfter > 0 {
+		d.wg.Add(1)
+		go d.watchdogLoop()
 	}
 	return d, nil
 }
@@ -203,15 +315,36 @@ func (d *Driver) persistLocked(j *Job) error {
 
 // Submit validates, journals and enqueues a job. A journal that cannot be
 // written fails the submission — accepting a job the server could lose on
-// restart would break the durability contract.
+// restart would break the durability contract. A submission past the queue
+// bounds (Config.MaxQueued / MaxQueuedPerClient) is rejected with an
+// *OverloadError instead of queued: under overload the server sheds load
+// at admission, where the client can back off, rather than inside an
+// unbounded backlog.
 func (d *Driver) Submit(spec JobSpec) (JobStatus, error) {
 	if err := spec.Validate(); err != nil {
 		return JobStatus{}, err
+	}
+	if spec.Fault != "" && !d.cfg.Chaos {
+		return JobStatus{}, fmt.Errorf("server: fault injection (%q) requires a chaos-enabled driver", spec.Fault)
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
 		return JobStatus{}, ErrShutdown
+	}
+	if d.cfg.MaxQueued > 0 && d.sched.len() >= d.cfg.MaxQueued {
+		d.mc.AtomicAdd(metrics.ServerAdmissionRejects, 1)
+		return JobStatus{}, &OverloadError{
+			Scope: "global", Queued: d.sched.len(),
+			Limit: d.cfg.MaxQueued, RetryAfter: admissionRetryAfter,
+		}
+	}
+	if n := d.sched.clientLen(spec.clientKey()); d.cfg.MaxQueuedPerClient > 0 && n >= d.cfg.MaxQueuedPerClient {
+		d.mc.AtomicAdd(metrics.ServerAdmissionRejects, 1)
+		return JobStatus{}, &OverloadError{
+			Scope: spec.clientKey(), Queued: n,
+			Limit: d.cfg.MaxQueuedPerClient, RetryAfter: admissionRetryAfter,
+		}
 	}
 	d.nextID++
 	id := fmt.Sprintf("j%06d", d.nextID)
@@ -280,6 +413,9 @@ func (d *Driver) finishLocked(j *Job, state JobState, errText string) {
 	if errText != "" {
 		j.rec.Error = errText
 	}
+	if state == StateFailed && j.rec.Failure == nil {
+		j.rec.Failure = &JobFailure{Kind: FailureError}
+	}
 	if err := d.persistLocked(j); err != nil {
 		// The run is already finished; losing the journal write degrades
 		// restart recovery (the job re-runs from the artifact cache), which
@@ -331,13 +467,52 @@ func (d *Driver) Status(id string) (JobStatus, error) {
 // Jobs lists every known job in submission order (history survives
 // restarts — the driver remembers past work).
 func (d *Driver) Jobs() []JobStatus {
+	return d.JobsInState("")
+}
+
+// JobsInState lists the jobs currently in the given state, in submission
+// order (the empty state matches everything) — the engine behind
+// GET /jobs?state=... and `tbpointctl list -state`.
+func (d *Driver) JobsInState(state JobState) []JobStatus {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	out := make([]JobStatus, 0, len(d.order))
 	for _, id := range d.order {
+		if state != "" && d.jobs[id].rec.State != state {
+			continue
+		}
 		out = append(out, d.statusLocked(d.jobs[id]))
 	}
 	return out
+}
+
+// SetPaused flips the dispatch gate at runtime: paused, the driver keeps
+// accepting and journaling jobs but dispatches none; unpausing wakes the
+// dispatchers onto whatever queued up meanwhile.
+func (d *Driver) SetPaused(p bool) {
+	d.mu.Lock()
+	d.paused = p
+	d.mu.Unlock()
+	d.cond.Broadcast()
+}
+
+// Ready reports whether the server should receive new traffic — the
+// /readyz verdict, distinct from liveness: a paused, draining, or
+// queue-saturated daemon is alive (healthz 200) but not ready (readyz
+// 503), so load balancers stop routing to it before requests start
+// bouncing off admission control.
+func (d *Driver) Ready() (bool, string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch {
+	case d.closed:
+		return false, "draining"
+	case d.paused:
+		return false, "paused"
+	case d.cfg.MaxQueued > 0 && d.sched.len() >= d.cfg.MaxQueued:
+		return false, fmt.Sprintf("queue full (%d/%d)", d.sched.len(), d.cfg.MaxQueued)
+	}
+	return true, ""
 }
 
 // Done exposes the job's completion channel (closed at terminal state) for

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 	"time"
 )
 
@@ -12,10 +13,14 @@ const eventInterval = 500 * time.Millisecond
 
 // Handler returns the daemon's HTTP API:
 //
-//	GET  /healthz              liveness probe
+//	GET  /healthz              liveness probe (200 while the process serves)
+//	GET  /readyz               readiness probe: 503 while paused, draining
+//	                           or queue-saturated, 200 otherwise
 //	GET  /metrics              server-wide metrics snapshot (JSON)
 //	POST /jobs                 submit a JobSpec, returns 202 + JobStatus
-//	GET  /jobs                 list all known jobs (history survives restarts)
+//	                           (429 + Retry-After past the queue bounds)
+//	GET  /jobs                 list all known jobs (history survives
+//	                           restarts); ?state=quarantined etc. filters
 //	GET  /jobs/{id}            one job's status (live progress while running)
 //	GET  /jobs/{id}/events     chunked NDJSON status stream until terminal
 //	GET  /jobs/{id}/result     the done job's results.json, byte-identical
@@ -30,6 +35,14 @@ func (d *Driver) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		ready, reason := d.Ready()
+		if !ready {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]interface{}{"ready": false, "reason": reason})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"ready": true})
+	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		if err := d.Metrics().WriteJSON(w); err != nil {
@@ -38,7 +51,7 @@ func (d *Driver) Handler() http.Handler {
 	})
 	mux.HandleFunc("POST /jobs", d.handleSubmit)
 	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, d.Jobs())
+		writeJSON(w, http.StatusOK, d.JobsInState(JobState(r.URL.Query().Get("state"))))
 	})
 	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		st, err := d.Status(r.PathValue("id"))
@@ -140,14 +153,24 @@ func writeJSON(w http.ResponseWriter, code int, v interface{}) {
 }
 
 // writeError maps driver errors onto HTTP status codes: unknown job → 404,
-// driver shut down → 503, everything else (validation, bad state) → 400.
+// driver shut down → 503, admission rejection → 429 with a Retry-After
+// header (whole seconds, rounded up, at least 1), everything else
+// (validation, bad state) → 400.
 func writeError(w http.ResponseWriter, err error) {
 	code := http.StatusBadRequest
+	var over *OverloadError
 	switch {
 	case errors.Is(err, ErrNotFound):
 		code = http.StatusNotFound
 	case errors.Is(err, ErrShutdown):
 		code = http.StatusServiceUnavailable
+	case errors.As(err, &over):
+		code = http.StatusTooManyRequests
+		secs := int(over.RetryAfter.Round(time.Second) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
 	}
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }

@@ -114,7 +114,21 @@ type JobSpec struct {
 	// client is part of the restart contract — and never starves other
 	// clients (see sched.go).
 	Priority int `json:"priority,omitempty"`
+	// Fault injects a deterministic failure into the job's execution, for
+	// the chaos suites and the serve CI stage: "panic" panics inside the
+	// dispatcher's run, "stuck" wedges making no progress until cancelled,
+	// "crash" fires the driver's crash injector (os.Exit in tbpointd).
+	// Submissions carrying a fault are rejected unless the driver was
+	// opened with Config.Chaos — never enable that in production.
+	Fault string `json:"fault,omitempty"`
 }
+
+// The JobSpec.Fault vocabulary.
+const (
+	FaultPanic = "panic"
+	FaultStuck = "stuck"
+	FaultCrash = "crash"
+)
 
 // clientKey is the fair-share queue this spec's jobs land on.
 func (s JobSpec) clientKey() string {
@@ -167,6 +181,12 @@ func (s *JobSpec) Validate() error {
 	if s.Priority < 0 || s.Priority > MaxPriority {
 		return fmt.Errorf("server: priority must be in [0, %d], got %d", MaxPriority, s.Priority)
 	}
+	switch s.Fault {
+	case "", FaultPanic, FaultStuck, FaultCrash:
+	default:
+		return fmt.Errorf("server: unknown fault %q (want %s, %s or %s)",
+			s.Fault, FaultPanic, FaultStuck, FaultCrash)
+	}
 	return nil
 }
 
@@ -199,18 +219,46 @@ type JobState string
 
 // The lifecycle: Submit puts a job in StateQueued; a dispatcher moves it to
 // StateRunning; it terminates in StateDone, StateFailed or StateCancelled.
-// A daemon restart moves queued and running jobs back to StateQueued.
+// A daemon restart moves queued and running jobs back to StateQueued —
+// except a job that was running across more than MaxRequeues restarts,
+// which journal replay dead-letters into StateQuarantined instead: a job
+// that keeps killing the daemon must not be offered a fifth chance to.
 const (
 	StateQueued    JobState = "queued"
 	StateRunning   JobState = "running"
 	StateDone      JobState = "done"
 	StateFailed    JobState = "failed"
 	StateCancelled JobState = "cancelled"
+	// StateQuarantined is the dead-letter terminal state: the job exceeded
+	// the requeue cap while running (a crash-loop signature), is never
+	// re-dispatched, and keeps its full history for post-mortem
+	// (GET /jobs?state=quarantined, tbpointctl list -state quarantined).
+	StateQuarantined JobState = "quarantined"
 )
 
 // Terminal reports whether the state is final.
 func (s JobState) Terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCancelled
+	return s == StateDone || s == StateFailed || s == StateCancelled || s == StateQuarantined
+}
+
+// The JobFailure.Kind vocabulary; JobStatus.FailureKind derives it for display.
+const (
+	FailureError       = "error"
+	FailurePanic       = "panic"
+	FailureStuck       = "stuck"
+	FailureQuarantined = "quarantined"
+)
+
+// JobFailure is the structured failure record attached to a terminally
+// failed (or quarantined) job: what class of failure it was, and — for a
+// contained panic — the panic value and captured stack.
+type JobFailure struct {
+	// Kind classifies the failure: error | panic | stuck | quarantined.
+	Kind string `json:"kind"`
+	// Panic is the recovered panic value's string form (Kind "panic").
+	Panic string `json:"panic,omitempty"`
+	// Stack is the goroutine stack captured at recovery (Kind "panic").
+	Stack string `json:"stack,omitempty"`
 }
 
 // JobStatus is the wire representation of one job, returned by the status
@@ -225,8 +273,16 @@ type JobStatus struct {
 	// Error is the failure reason for StateFailed (and the cancellation
 	// cause for StateCancelled, when one was recorded).
 	Error string `json:"error,omitempty"`
+	// Failure classifies a failed/quarantined job (error|panic|stuck|
+	// quarantined) and carries the contained panic's value and stack.
+	Failure *JobFailure `json:"failure,omitempty"`
 	// Requeues counts daemon restarts this job survived before running.
 	Requeues int `json:"requeues,omitempty"`
+	// RunRequeues counts the restarts that found this job *running* — the
+	// daemon died while it held a dispatcher. That is the crash-loop
+	// signal the quarantine policy acts on; requeues of merely queued jobs
+	// are the daemon's fault, not the job's.
+	RunRequeues int `json:"run_requeues,omitempty"`
 	// CacheHits / CacheMisses count grid cells satisfied from vs published
 	// into the shared artifact cache (exp.cells_resumed / exp.cells_executed
 	// of the job's collector).
@@ -250,25 +306,42 @@ type JobStatus struct {
 	Phases []metrics.PhaseSnapshot `json:"phases,omitempty"`
 }
 
+// FailureKind is the parseable failure classification for status lines:
+// empty for jobs that did not fail, otherwise error|panic|stuck|quarantined.
+func (st JobStatus) FailureKind() string {
+	if st.Failure != nil {
+		return st.Failure.Kind
+	}
+	switch st.State {
+	case StateFailed:
+		return FailureError
+	case StateQuarantined:
+		return FailureQuarantined
+	}
+	return ""
+}
+
 // jobRecord is the journaled form of a job: everything that must survive a
 // daemon restart. Live-only data (the collector, the cancel func) stays on
 // the in-memory Job.
 type jobRecord struct {
-	ID            string    `json:"id"`
-	Spec          JobSpec   `json:"spec"`
-	State         JobState  `json:"state"`
-	SubmittedAt   time.Time `json:"submitted_at"`
-	StartedAt     time.Time `json:"started_at,omitzero"`
-	FinishedAt    time.Time `json:"finished_at,omitzero"`
-	Error         string    `json:"error,omitempty"`
-	Requeues      int       `json:"requeues,omitempty"`
-	CacheHits     uint64    `json:"cache_hits,omitempty"`
-	CacheMisses   uint64    `json:"cache_misses,omitempty"`
-	SubcellHits   uint64    `json:"subcell_hits,omitempty"`
-	SubcellMisses uint64    `json:"subcell_misses,omitempty"`
-	CellsFailed   uint64    `json:"cells_failed,omitempty"`
-	Aborted       bool      `json:"aborted,omitempty"`
-	WallSeconds   float64   `json:"wall_seconds,omitempty"`
+	ID            string      `json:"id"`
+	Spec          JobSpec     `json:"spec"`
+	State         JobState    `json:"state"`
+	SubmittedAt   time.Time   `json:"submitted_at"`
+	StartedAt     time.Time   `json:"started_at,omitzero"`
+	FinishedAt    time.Time   `json:"finished_at,omitzero"`
+	Error         string      `json:"error,omitempty"`
+	Failure       *JobFailure `json:"failure,omitempty"`
+	Requeues      int         `json:"requeues,omitempty"`
+	RunRequeues   int         `json:"run_requeues,omitempty"`
+	CacheHits     uint64      `json:"cache_hits,omitempty"`
+	CacheMisses   uint64      `json:"cache_misses,omitempty"`
+	SubcellHits   uint64      `json:"subcell_hits,omitempty"`
+	SubcellMisses uint64      `json:"subcell_misses,omitempty"`
+	CellsFailed   uint64      `json:"cells_failed,omitempty"`
+	Aborted       bool        `json:"aborted,omitempty"`
+	WallSeconds   float64     `json:"wall_seconds,omitempty"`
 }
 
 func (r jobRecord) status() JobStatus {
@@ -278,7 +351,9 @@ func (r jobRecord) status() JobStatus {
 		Spec:          r.Spec,
 		SubmittedAt:   r.SubmittedAt,
 		Error:         r.Error,
+		Failure:       r.Failure,
 		Requeues:      r.Requeues,
+		RunRequeues:   r.RunRequeues,
 		CacheHits:     r.CacheHits,
 		CacheMisses:   r.CacheMisses,
 		SubcellHits:   r.SubcellHits,

@@ -87,6 +87,15 @@ func (s *drrSched) push(client, id string, priority int) {
 // len reports the number of pending jobs across all clients.
 func (s *drrSched) len() int { return s.total }
 
+// clientLen reports one client's pending-job count (0 for unknown
+// clients) — the per-tenant admission bound consults it.
+func (s *drrSched) clientLen(client string) int {
+	if cq := s.clients[client]; cq != nil {
+		return len(cq.jobs)
+	}
+	return 0
+}
+
 // pop releases the next job ID under the DRR discipline. It returns false
 // only when nothing is pending.
 func (s *drrSched) pop() (string, bool) {

@@ -1,0 +1,317 @@
+package server
+
+// White-box tests for the supervision layer: the poison-job quarantine at
+// journal replay and the stuck-job watchdog's staleness logic. Both need
+// internals — the quarantine tests forge "daemon died mid-run" journal
+// states (os.Exit cannot run inside a test process), and the watchdog test
+// drives checkStuck against a fake clock.
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tbpoint/internal/metrics"
+)
+
+func superviseSpec() JobSpec {
+	return JobSpec{Targets: []string{"accuracy"}, Scale: 0.02, Seed: 7, Benchmarks: []string{"stream"}}
+}
+
+// crashCycle emulates one daemon death mid-run: flip the job's journal
+// record to running (as a dispatcher would have persisted before the
+// crash), then close the driver. The next Open replays a journal that says
+// "the daemon died while this job ran".
+func crashCycle(t *testing.T, d *Driver, id string) {
+	t.Helper()
+	d.mu.Lock()
+	j := d.jobs[id]
+	j.rec.State = StateRunning
+	if err := d.persistLocked(j); err != nil {
+		d.mu.Unlock()
+		t.Fatal(err)
+	}
+	d.mu.Unlock()
+	d.Close()
+}
+
+// TestQuarantineAfterCrashLoop: a job observed running across more than
+// MaxRequeues daemon deaths is dead-lettered at replay — never offered
+// another dispatcher — while its full history survives for post-mortem.
+func TestQuarantineAfterCrashLoop(t *testing.T) {
+	dir := t.TempDir()
+	mc := metrics.New()
+	// Paused: the test plays the crashing dispatcher by hand.
+	cfg := Config{StateDir: dir, Paused: true, Metrics: mc, Logf: t.Logf}
+	d, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := d.Submit(superviseSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// DefaultMaxRequeues crash replays keep requeueing; one more quarantines.
+	for i := 0; i < DefaultMaxRequeues; i++ {
+		crashCycle(t, d, st.ID)
+		if d, err = Open(cfg); err != nil {
+			t.Fatal(err)
+		}
+		got, _ := d.Status(st.ID)
+		if got.State != StateQueued {
+			t.Fatalf("after %d crash replays: state = %s, want queued", i+1, got.State)
+		}
+	}
+	crashCycle(t, d, st.ID)
+	if d, err = Open(cfg); err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	got, err := d.Status(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateQuarantined {
+		t.Fatalf("state = %s (error %q), want quarantined", got.State, got.Error)
+	}
+	if got.FailureKind() != FailureQuarantined {
+		t.Errorf("failure kind = %q, want %q", got.FailureKind(), FailureQuarantined)
+	}
+	if want := DefaultMaxRequeues + 1; got.RunRequeues != want {
+		t.Errorf("run_requeues = %d, want %d", got.RunRequeues, want)
+	}
+	if !strings.Contains(got.Error, "quarantined") {
+		t.Errorf("error = %q, want a quarantine explanation", got.Error)
+	}
+	if n := mc.Count(metrics.ServerJobsQuarantined); n != 1 {
+		t.Errorf("server.jobs_quarantined = %d, want 1", n)
+	}
+	if q := d.JobsInState(StateQuarantined); len(q) != 1 || q[0].ID != st.ID {
+		t.Errorf("JobsInState(quarantined) = %+v, want exactly %s", q, st.ID)
+	}
+	// Dead-lettered means dead: nothing queued, nothing schedulable.
+	d.mu.Lock()
+	pending := d.sched.len()
+	d.mu.Unlock()
+	if pending != 0 {
+		t.Errorf("scheduler holds %d jobs, want 0 — quarantined jobs must never be dispatched", pending)
+	}
+
+	// Replay is deterministic and terminal states are stable: another
+	// restart neither revives the job nor double-counts it.
+	d.Close()
+	if d, err = Open(cfg); err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	got, _ = d.Status(st.ID)
+	if got.State != StateQuarantined {
+		t.Fatalf("after extra restart: state = %s, want quarantined", got.State)
+	}
+	if n := mc.Count(metrics.ServerJobsQuarantined); n != 1 {
+		t.Errorf("server.jobs_quarantined after extra restart = %d, want still 1", n)
+	}
+}
+
+// TestQuarantineSparesQueuedBystander pins the policy's core distinction:
+// a crash-looping sibling must not drag merely-queued jobs into the
+// dead-letter queue. Only requeues observed while the job was RUNNING
+// count toward its cap.
+func TestQuarantineSparesQueuedBystander(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{StateDir: dir, Paused: true, Metrics: metrics.New(), Logf: t.Logf}
+	d, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poison, err := d.Submit(superviseSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bystander, err := d.Submit(superviseSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i <= DefaultMaxRequeues; i++ {
+		crashCycle(t, d, poison.ID)
+		if d, err = Open(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer d.Close()
+
+	p, _ := d.Status(poison.ID)
+	b, _ := d.Status(bystander.ID)
+	if p.State != StateQuarantined {
+		t.Fatalf("poison job state = %s, want quarantined", p.State)
+	}
+	if b.State != StateQueued {
+		t.Fatalf("bystander state = %s, want queued — it never held a dispatcher", b.State)
+	}
+	if b.RunRequeues != 0 {
+		t.Errorf("bystander run_requeues = %d, want 0", b.RunRequeues)
+	}
+	if want := DefaultMaxRequeues + 1; b.Requeues != want {
+		t.Errorf("bystander requeues = %d, want %d (it did survive every restart)", b.Requeues, want)
+	}
+}
+
+// TestWatchdogFakeClock drives checkStuck directly with a controlled
+// clock: a wedged job (chaos fault "stuck") whose progress fingerprint
+// never moves is cancelled with the ErrStuck cause once — and exactly
+// once — after StuckAfter elapses, and terminally fails as stuck.
+func TestWatchdogFakeClock(t *testing.T) {
+	mc := metrics.New()
+	d, err := Open(Config{
+		StateDir:    t.TempDir(),
+		Dispatchers: 1,
+		Chaos:       true,
+		StuckAfter:  50 * time.Millisecond,
+		StuckPoll:   time.Hour, // the real loop stays inert; the test is the clock
+		Metrics:     mc,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	spec := superviseSpec()
+	spec.Fault = FaultStuck
+	st, err := d.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for the dispatcher to pick it up and wedge.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got, _ := d.Status(st.ID)
+		if got.State == StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never started running: %+v", got)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	t0 := time.Now()
+	if stuck := d.checkStuck(t0); len(stuck) != 0 {
+		t.Fatalf("first pass cancelled %v, want none (it only records the mark)", stuck)
+	}
+	if stuck := d.checkStuck(t0.Add(49 * time.Millisecond)); len(stuck) != 0 {
+		t.Fatalf("pass inside the window cancelled %v, want none", stuck)
+	}
+	stuck := d.checkStuck(t0.Add(60 * time.Millisecond))
+	if len(stuck) != 1 || stuck[0] != st.ID {
+		t.Fatalf("stale pass cancelled %v, want exactly [%s]", stuck, st.ID)
+	}
+
+	done, err := d.Done(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("stuck job never reached a terminal state after cancellation")
+	}
+	final, _ := d.Status(st.ID)
+	if final.State != StateFailed {
+		t.Fatalf("state = %s (error %q), want failed", final.State, final.Error)
+	}
+	if final.FailureKind() != FailureStuck {
+		t.Errorf("failure kind = %q, want %q", final.FailureKind(), FailureStuck)
+	}
+	if !strings.Contains(final.Error, "no progress") {
+		t.Errorf("error = %q, want the watchdog's verdict text", final.Error)
+	}
+	if n := mc.Count(metrics.ServerJobsStuck); n != 1 {
+		t.Errorf("server.jobs_stuck = %d, want 1", n)
+	}
+}
+
+// TestWatchdogIgnoresProgressingJobs: a fingerprint that moves between
+// passes resets the staleness window — real progress is never punished.
+func TestWatchdogIgnoresProgressingJobs(t *testing.T) {
+	d, err := Open(Config{
+		StateDir:    t.TempDir(),
+		Dispatchers: 1,
+		Chaos:       true,
+		StuckAfter:  50 * time.Millisecond,
+		StuckPoll:   time.Hour,
+		Metrics:     metrics.New(),
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	spec := superviseSpec()
+	spec.Fault = FaultStuck
+	st, err := d.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got, _ := d.Status(st.ID)
+		if got.State == StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never started running: %+v", got)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	t0 := time.Now()
+	d.checkStuck(t0)
+	// Simulate observable progress: bump the job's live collector between
+	// passes. The fingerprint moves, so the mark resets.
+	d.mu.Lock()
+	d.jobs[st.ID].mc.Add(metrics.ExpCellsExecuted, 1)
+	d.mu.Unlock()
+	if stuck := d.checkStuck(t0.Add(60 * time.Millisecond)); len(stuck) != 0 {
+		t.Fatalf("progressing job cancelled as stuck: %v", stuck)
+	}
+	// Only once the *new* fingerprint goes stale for the full window does
+	// the watchdog fire.
+	if stuck := d.checkStuck(t0.Add(100 * time.Millisecond)); len(stuck) != 0 {
+		t.Fatalf("window not yet elapsed since progress, yet cancelled: %v", stuck)
+	}
+	if stuck := d.checkStuck(t0.Add(120 * time.Millisecond)); len(stuck) != 1 {
+		t.Fatalf("stale-after-progress pass cancelled %v, want exactly one", stuck)
+	}
+	// Let the cancelled run unwind before Close.
+	done, _ := d.Done(st.ID)
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("job never terminated")
+	}
+}
+
+// TestFaultRequiresChaos: fault-carrying specs never get into a production
+// (non-chaos) driver.
+func TestFaultRequiresChaos(t *testing.T) {
+	d, err := Open(Config{StateDir: t.TempDir(), Paused: true, Metrics: metrics.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	spec := superviseSpec()
+	spec.Fault = FaultPanic
+	if _, err := d.Submit(spec); err == nil || !strings.Contains(err.Error(), "chaos") {
+		t.Fatalf("Submit(fault without chaos) err = %v, want a chaos-gate rejection", err)
+	}
+	spec.Fault = "explode"
+	if err := spec.Validate(); err == nil {
+		t.Fatal("Validate accepted unknown fault")
+	}
+}

@@ -37,7 +37,17 @@
 #           results.json and cmp it against the one-shot cmd/experiments
 #           output; kill -9 the daemon with a queued job and prove the
 #           restart runs it; overlap a second job and prove the artifact
-#           cache serves it (nonzero cache_hits, lower wall time)
+#           cache serves it (nonzero cache_hits, lower wall time). Then the
+#           supervision chaos proofs against a -chaos daemon: an injected
+#           panic fails one job (failure_kind=panic, stack recorded) while
+#           the daemon keeps serving (dispatcher_restarts counted); a
+#           wedged job is killed by the stuck watchdog (failure_kind=
+#           stuck); a flooded queue rejects with 429 + Retry-After while
+#           /readyz reports 503, and a backing-off tbpointctl submit
+#           retries through to acceptance; a crash-looping job that kills
+#           the daemon on every pickup is dead-lettered (quarantined) at
+#           the requeue cap, after which the daemon stays up and the
+#           innocent job behind it completes
 #   serveload multi-tenant hardening under load: a race-built daemon with a
 #           byte-bounded cache (-cache-max-bytes) takes a flooding client's
 #           queue plus a small client's single job; the dispatch log must
@@ -112,7 +122,7 @@ run_fuzz() {
 run_chaos() {
   # -count=1 defeats the test cache: chaos tests exercise timing-dependent
   # cancellation paths and should actually run on every CI invocation.
-  go test -count=1 -run 'Chaos|Cancel|Abort|Panic|Retry|Resume|Corrupt|Quarantine|Truncat|Crash|Concurrent|Deadline' \
+  go test -count=1 -run 'Chaos|Cancel|Abort|Panic|Retry|Resume|Corrupt|Quarantine|Truncat|Crash|Concurrent|Deadline|Stuck|Watchdog|Admission|Overload|Fault' \
     ./internal/faultcheck/ ./internal/par/ ./internal/gpusim/ \
     ./internal/core/ ./internal/experiments/ ./internal/durable/ \
     ./internal/server/
@@ -240,9 +250,11 @@ wait_file() {
   return 1
 }
 
-# field LINE KEY — pull key=value out of a tbpointctl status line.
+# field LINE KEY — pull key=value out of a tbpointctl status line. The key
+# must sit at the line start or after a space, so `requeues` cannot match
+# inside `run_requeues`.
 field() {
-  sed -n "s/.*${2}=\([^ ]*\).*/\1/p" <<<"$1"
+  sed -n -E "s/(^|.* )${2}=([^ ]*).*/\2/p" <<<"$1"
 }
 
 run_serve() {
@@ -357,6 +369,256 @@ run_serve() {
     cat "$tmp/daemon2.log" >&2
     return 1
   }
+  ) && run_serve_chaos && run_serve_quarantine
+  # ^ explicit chaining: the stage runner invokes this function inside an
+  # `if`, which suppresses set -e — an unchained failing phase would
+  # otherwise be masked by a later passing one.
+}
+
+run_serve_chaos() {
+  # Supervision under injected faults, on two -chaos daemons (the stuck
+  # watchdog must be armed for the fault proofs but absent for the
+  # admission proofs, or it would free the wedged dispatcher mid-test).
+  # Daemon 1 (watchdog armed): panic containment — one bad job, zero
+  # daemon damage, the slot restarts and serves the next job — and the
+  # watchdog verdict (failure_kind=stuck). Daemon 2 (queue bound 2):
+  # admission control — 429 + Retry-After over raw HTTP, /readyz 503,
+  # and a tbpointctl submit that backs off through the rejections to
+  # eventual acceptance.
+  (
+  local tmp
+  tmp=$(mktemp -d)
+  # shellcheck disable=SC2064
+  trap "{ cat '$tmp'/*.pid 2>/dev/null | xargs -r kill 2>/dev/null; } || true; rm -rf '$tmp'" EXIT
+  go build -race -o "$tmp/tbpointd" ./cmd/tbpointd
+  go build -o "$tmp/tbpointctl" ./cmd/tbpointctl
+  local args=(-scale 0.02 -seed 7 -bench stream)
+
+  "$tmp/tbpointd" -addr 127.0.0.1:0 -addr-file "$tmp/addr1" \
+    -state-dir "$tmp/state1" -chaos -dispatchers 1 -stuck-after 10s \
+    -drain-timeout 30s -v >"$tmp/daemon1.log" 2>&1 &
+  echo $! >"$tmp/d1.pid"
+  disown
+  wait_file "$tmp/addr1"
+  export TBPOINTD_ADDR="http://$(cat "$tmp/addr1")"
+
+  # Panic containment: the job fails terminally with the panic recorded,
+  # and the restarted dispatcher slot runs the next job to done.
+  local line
+  line=$("$tmp/tbpointctl" submit -wait -fault panic "${args[@]}" accuracy || true)
+  [[ "$(field "$line" state)" == "failed" && "$(field "$line" failure_kind)" == "panic" ]] || {
+    echo "serve: panic-injected job did not fail as panic: $line" >&2
+    cat "$tmp/daemon1.log" >&2
+    return 1
+  }
+  line=$("$tmp/tbpointctl" submit -wait "${args[@]}" accuracy)
+  [[ "$(field "$line" state)" == "done" ]] || {
+    echo "serve: job after a contained panic did not complete: $line" >&2
+    cat "$tmp/daemon1.log" >&2
+    return 1
+  }
+
+  # The stuck watchdog: a wedged job is cancelled and classified stuck.
+  line=$("$tmp/tbpointctl" submit -wait -fault stuck "${args[@]}" accuracy || true)
+  [[ "$(field "$line" state)" == "failed" && "$(field "$line" failure_kind)" == "stuck" ]] || {
+    echo "serve: wedged job did not fail as stuck: $line" >&2
+    cat "$tmp/daemon1.log" >&2
+    return 1
+  }
+
+  "$tmp/tbpointctl" metrics >"$tmp/chaos_metrics.json"
+  artifact "$tmp/chaos_metrics.json" serve_chaos_metrics.json
+  artifact "$tmp/daemon1.log" serve_chaos_daemon.log
+  local key
+  for key in '"server.jobs_panicked": 1' '"server.jobs_stuck": 1' \
+             '"server.dispatcher_restarts": [1-9]'; do
+    grep -q "$key" "$tmp/chaos_metrics.json" || {
+      echo "serve: supervision counter missing: $key" >&2
+      grep '"server\.' "$tmp/chaos_metrics.json" >&2 || true
+      return 1
+    }
+  done
+  kill "$(cat "$tmp/d1.pid")" 2>/dev/null || true
+  rm -f "$tmp/d1.pid"
+
+  # Admission control: wedge the only dispatcher (no watchdog on this
+  # daemon, so the wedge holds), fill the queue to its bound, and the
+  # next raw submission must bounce with 429 + Retry-After while /readyz
+  # reports 503. A tbpointctl submit launched against the full queue must
+  # retry through the rejections and win once the wedge is cancelled.
+  "$tmp/tbpointd" -addr 127.0.0.1:0 -addr-file "$tmp/addr2" \
+    -state-dir "$tmp/state2" -chaos -dispatchers 1 -max-queued 2 \
+    -v >"$tmp/daemon2.log" 2>&1 &
+  echo $! >"$tmp/d2.pid"
+  disown
+  wait_file "$tmp/addr2"
+  export TBPOINTD_ADDR="http://$(cat "$tmp/addr2")"
+
+  local wedge q1 q2 i
+  wedge=$("$tmp/tbpointctl" submit -fault stuck "${args[@]}" accuracy)
+  for i in $(seq 100); do
+    [[ "$(field "$("$tmp/tbpointctl" status "$wedge")" state)" == "running" ]] && break
+    sleep 0.1
+  done
+  q1=$("$tmp/tbpointctl" submit "${args[@]}" accuracy)
+  q2=$("$tmp/tbpointctl" submit "${args[@]}" accuracy)
+  curl -s -o "$tmp/reject.json" -D "$tmp/reject.hdr" \
+    -X POST -H 'Content-Type: application/json' \
+    -d '{"targets":["accuracy"],"scale":0.02,"benchmarks":["stream"]}' \
+    "$TBPOINTD_ADDR/jobs"
+  grep -q "429" "$tmp/reject.hdr" && grep -qi "^retry-after: [1-9]" "$tmp/reject.hdr" || {
+    echo "serve: over-bound submission was not rejected with 429 + Retry-After:" >&2
+    cat "$tmp/reject.hdr" "$tmp/reject.json" >&2
+    return 1
+  }
+  curl -s -o /dev/null -w '%{http_code}' "$TBPOINTD_ADDR/readyz" | grep -q 503 || {
+    echo "serve: saturated daemon still reports ready" >&2
+    return 1
+  }
+  "$tmp/tbpointctl" submit "${args[@]}" accuracy >"$tmp/retried.id" 2>"$tmp/retried.err" &
+  local subpid=$!
+  sleep 1.5 # let the backing-off client take at least one 429 on the chin
+  kill -0 "$subpid" 2>/dev/null || {
+    echo "serve: backing-off submit returned while the queue was still full:" >&2
+    cat "$tmp/retried.id" "$tmp/retried.err" >&2
+    return 1
+  }
+  "$tmp/tbpointctl" cancel "$wedge" >/dev/null
+  "$tmp/tbpointctl" cancel "$q1" >/dev/null
+  "$tmp/tbpointctl" cancel "$q2" >/dev/null
+  wait "$subpid" || {
+    echo "serve: backing-off submit never got accepted:" >&2
+    cat "$tmp/retried.err" >&2
+    return 1
+  }
+  line=$("$tmp/tbpointctl" wait "$(cat "$tmp/retried.id")")
+  [[ "$(field "$line" state)" == "done" ]] || {
+    echo "serve: retried submission's job did not complete: $line" >&2
+    return 1
+  }
+  curl -s -o /dev/null -w '%{http_code}' "$TBPOINTD_ADDR/readyz" | grep -q 200 || {
+    echo "serve: drained daemon did not become ready again" >&2
+    return 1
+  }
+  "$tmp/tbpointctl" metrics >"$tmp/admission_metrics.json"
+  artifact "$tmp/admission_metrics.json" serve_admission_metrics.json
+  artifact "$tmp/daemon2.log" serve_admission_daemon.log
+  grep -q '"server.admission_rejects": [1-9]' "$tmp/admission_metrics.json" || {
+    echo "serve: server.admission_rejects counter missing:" >&2
+    grep '"server\.' "$tmp/admission_metrics.json" >&2 || true
+    return 1
+  }
+  kill "$(cat "$tmp/d2.pid")" 2>/dev/null || true
+  rm -f "$tmp/d2.pid"
+  )
+}
+
+run_serve_quarantine() {
+  # Poison-job quarantine with real process death: a chaos crash job makes
+  # tbpointd os.Exit(3) on every pickup. Each restart replays the journal,
+  # sees the job was running when the daemon died, and requeues it — until
+  # the requeue cap, where it is dead-lettered instead. The daemon then
+  # stays up and the innocent job queued behind the poison one completes.
+  (
+  local tmp
+  tmp=$(mktemp -d)
+  # shellcheck disable=SC2064
+  trap "{ cat '$tmp'/*.pid 2>/dev/null | xargs -r kill 2>/dev/null; } || true; rm -rf '$tmp'" EXIT
+  go build -race -o "$tmp/tbpointd" ./cmd/tbpointd
+  go build -o "$tmp/tbpointctl" ./cmd/tbpointctl
+  local args=(-scale 0.02 -seed 7 -bench stream)
+
+  # Seed the journal on a paused chaos daemon: the poison job first (FIFO
+  # head of the single dispatcher), the bystander behind it.
+  "$tmp/tbpointd" -addr 127.0.0.1:0 -addr-file "$tmp/addr0" \
+    -state-dir "$tmp/state" -chaos -paused -v >"$tmp/daemon.log" 2>&1 &
+  echo $! >"$tmp/d.pid"
+  disown
+  wait_file "$tmp/addr0"
+  export TBPOINTD_ADDR="http://$(cat "$tmp/addr0")"
+  local poison bystander
+  poison=$("$tmp/tbpointctl" submit -fault crash "${args[@]}" accuracy)
+  bystander=$("$tmp/tbpointctl" submit "${args[@]}" accuracy)
+  kill -9 "$(cat "$tmp/d.pid")"
+  rm -f "$tmp/d.pid"
+
+  # Crash loop: the default -max-requeues 3 allows exactly 4 daemon deaths
+  # under the poison job (its own kill -9 above only requeued it as
+  # queued, which never counts) before the 5th boot quarantines it.
+  local deaths=0 attempt pid verdict state
+  for attempt in $(seq 8); do
+    rm -f "$tmp/addr"
+    "$tmp/tbpointd" -addr 127.0.0.1:0 -addr-file "$tmp/addr" \
+      -state-dir "$tmp/state" -chaos -dispatchers 1 -v >>"$tmp/daemon.log" 2>&1 &
+    pid=$!
+    echo $pid >"$tmp/d.pid"
+    disown
+    wait_file "$tmp/addr"
+    export TBPOINTD_ADDR="http://$(cat "$tmp/addr")"
+    verdict=""
+    local t
+    for t in $(seq 300); do
+      if ! kill -0 "$pid" 2>/dev/null; then
+        verdict=died
+        break
+      fi
+      state=$(field "$("$tmp/tbpointctl" status "$poison" 2>/dev/null || true)" state)
+      if [[ "$state" == "quarantined" ]]; then
+        verdict=quarantined
+        break
+      fi
+      sleep 0.1
+    done
+    case "$verdict" in
+      died) deaths=$((deaths + 1)); rm -f "$tmp/d.pid" ;;
+      quarantined) break ;;
+      *)
+        echo "serve: quarantine loop attempt $attempt resolved nothing" >&2
+        cat "$tmp/daemon.log" >&2
+        return 1 ;;
+    esac
+  done
+  artifact "$tmp/daemon.log" serve_quarantine_daemon.log
+  [[ "$verdict" == "quarantined" ]] || {
+    echo "serve: poison job was never quarantined after $deaths daemon deaths" >&2
+    cat "$tmp/daemon.log" >&2
+    return 1
+  }
+  [[ "$deaths" == "4" ]] || {
+    echo "serve: quarantine fired after $deaths daemon deaths, want exactly 4 (cap 3)" >&2
+    return 1
+  }
+
+  # The dead-letter record keeps the history; the bystander completes on
+  # the surviving daemon; the dead-letter list names exactly the poison
+  # job; the counter confirms.
+  local line
+  line=$("$tmp/tbpointctl" status "$poison")
+  [[ "$(field "$line" failure_kind)" == "quarantined" && "$(field "$line" run_requeues)" == "4" ]] || {
+    echo "serve: quarantined status line wrong: $line" >&2
+    return 1
+  }
+  line=$("$tmp/tbpointctl" wait "$bystander")
+  [[ "$(field "$line" state)" == "done" ]] || {
+    echo "serve: bystander job did not complete after quarantine: $line" >&2
+    cat "$tmp/daemon.log" >&2
+    return 1
+  }
+  "$tmp/tbpointctl" list -state quarantined >"$tmp/deadletter.txt"
+  [[ "$(wc -l <"$tmp/deadletter.txt")" == "1" ]] && grep -q "id=$poison" "$tmp/deadletter.txt" || {
+    echo "serve: dead-letter list wrong:" >&2
+    cat "$tmp/deadletter.txt" >&2
+    return 1
+  }
+  "$tmp/tbpointctl" metrics >"$tmp/quarantine_metrics.json"
+  artifact "$tmp/quarantine_metrics.json" serve_quarantine_metrics.json
+  grep -q '"server.jobs_quarantined": 1' "$tmp/quarantine_metrics.json" || {
+    echo "serve: server.jobs_quarantined counter wrong:" >&2
+    grep '"server\.' "$tmp/quarantine_metrics.json" >&2 || true
+    return 1
+  }
+  kill "$(cat "$tmp/d.pid")" 2>/dev/null || true
+  rm -f "$tmp/d.pid"
   )
 }
 
